@@ -1,0 +1,157 @@
+"""Ablations for the paper's §6 future-work extensions.
+
+- Beacon promotion: localized unknowns also beacon, gated on fix
+  confidence; helps anchor-sparse teams, and the gate matters.
+- Transmission power control: range/accuracy/energy trade-off.
+- Geographic routing on CoCoA coordinates: the §6 application claim.
+"""
+
+import math
+
+from conftest import scaled
+
+from repro.core.config import CoCoAConfig
+from repro.core.team import CoCoATeam
+from repro.experiments.metrics import summarize_errors
+from repro.ext.georouting import run_georouting_study
+from repro.ext.power_control import run_power_sweep
+from repro.ext.promotion import PromotionConfig, PromotionTeam
+
+
+def test_beacon_promotion(benchmark, report, calibration):
+    """Promotion in an anchor-sparse team (10 anchors of 50)."""
+    duration = scaled(500.0, full=1200.0)
+    config = CoCoAConfig(
+        n_anchors=10, duration_s=duration, master_seed=5
+    )
+    table = calibration.table_for(config)
+
+    def run():
+        baseline = CoCoATeam(config, pdf_table=table).run()
+        promoted_team = PromotionTeam(
+            config, PromotionConfig(max_fix_std_m=6.0), pdf_table=table
+        )
+        promoted = promoted_team.run()
+        loose_team = PromotionTeam(
+            config, PromotionConfig(max_fix_std_m=60.0), pdf_table=table
+        )
+        loose = loose_team.run()
+        return {
+            "baseline": baseline,
+            "promoted": (promoted_team, promoted),
+            "loose": (loose_team, loose),
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    baseline = result["baseline"]
+    promoted_team, promoted = result["promoted"]
+    loose_team, loose = result["loose"]
+    skip = min(config.beacon_period_s, duration / 2)
+
+    def avg(r):
+        return summarize_errors(r.errors, skip_first_s=skip).time_average_m
+
+    lines = [
+        "%-26s %-12s %-12s %-14s"
+        % ("configuration", "err (m)", "no-fix wins", "extra beacons"),
+        "%-26s %-12.2f %-12d %-14d"
+        % ("10 anchors (baseline)", avg(baseline),
+           baseline.windows_without_fix, 0),
+        "%-26s %-12.2f %-12d %-14d"
+        % ("+ promotion (gate 6 m)", avg(promoted),
+           promoted.windows_without_fix,
+           promoted_team.promoted_beacons_sent),
+        "%-26s %-12.2f %-12d %-14d"
+        % ("+ promotion (gate 60 m)", avg(loose),
+           loose.windows_without_fix, loose_team.promoted_beacons_sent),
+        "",
+        "Paper (§6): promotion could reduce the anchors needed, but a bad "
+        "'goodness' judgement could increase errors - hence the gate.",
+    ]
+    report("Extension - beacon promotion by localized unknowns", lines)
+
+    # Promotion adds beacon sources and rescues missed windows.
+    assert promoted_team.promoted_beacons_sent > 0
+    assert promoted.windows_without_fix <= baseline.windows_without_fix
+    # The gated variant must not wreck accuracy.
+    assert avg(promoted) < avg(baseline) + 4.0
+
+
+def test_power_control(benchmark, report):
+    duration = scaled(400.0, full=1200.0)
+
+    result = benchmark.pedantic(
+        lambda: run_power_sweep(
+            power_deltas_db=(-6.0, 0.0, 6.0), duration_s=duration
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "%-10s %-12s %-12s %-14s %-14s"
+        % ("dP (dB)", "range (m)", "err (m)", "energy (J)", "delivered"),
+    ]
+    for point in result:
+        lines.append(
+            "%-10.0f %-12.0f %-12.2f %-14.0f %-14d"
+            % (
+                point.power_delta_db,
+                point.range_m,
+                point.time_average_error_m,
+                point.total_energy_j,
+                point.beacons_delivered,
+            )
+        )
+    lines += [
+        "",
+        "Paper (§6): power control can increase the distance over which "
+        "nodes cooperate; the price is transmit energy.",
+    ]
+    report("Extension - transmission power control", lines)
+
+    by_delta = {p.power_delta_db: p for p in result}
+    # More power, more range, more frames delivered.
+    assert by_delta[6.0].range_m > by_delta[0.0].range_m > by_delta[-6.0].range_m
+    assert by_delta[6.0].beacons_delivered > by_delta[-6.0].beacons_delivered
+    # Less power must not improve accuracy (fewer audible anchors).
+    assert (
+        by_delta[-6.0].time_average_error_m
+        >= by_delta[6.0].time_average_error_m - 2.0
+    )
+
+
+def test_georouting_on_cocoa_coordinates(benchmark, report):
+    duration = scaled(460.0, full=1200.0)
+    snapshots = (duration * 0.4, duration * 0.65, duration * 0.9)
+
+    result = benchmark.pedantic(
+        lambda: run_georouting_study(
+            CoCoAConfig(duration_s=duration, master_seed=9),
+            snapshot_times=snapshots,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "routable (source, destination) pairs: %d" % result.attempts,
+        "greedy delivery on true coordinates:      %.1f%%"
+        % (100.0 * result.delivery_rate_true),
+        "greedy delivery on CoCoA coordinates:     %.1f%%"
+        % (100.0 * result.delivery_rate_estimated),
+        "mean path stretch (true / CoCoA): %.2f / %.2f"
+        % (result.mean_stretch_true, result.mean_stretch_estimated),
+        "",
+        "Paper (§6): 'CoCoA coordinates are good enough to enable "
+        "scalable geographic routing'.",
+    ]
+    report("Extension - geographic routing over CoCoA coordinates", lines)
+
+    assert result.attempts > 30
+    # The §6 claim: CoCoA coordinates route nearly as well as the truth.
+    assert result.delivery_rate_estimated > 0.8
+    assert (
+        result.delivery_rate_estimated
+        > result.delivery_rate_true - 0.15
+    )
+    if not math.isnan(result.mean_stretch_estimated):
+        assert result.mean_stretch_estimated < 1.6

@@ -1,0 +1,57 @@
+"""Figure 4: localization error over time using only odometry.
+
+Paper: 50 robots dead-reckon from known initial positions for 30 minutes;
+the average error grows without bound, approaching/exceeding 100 m for
+both maximum speeds (0.5 and 2.0 m/s).
+"""
+
+from conftest import scaled
+
+from repro.experiments.figures import run_fig4
+
+
+def test_fig4_odometry_only(benchmark, report):
+    duration = scaled(900.0)  # odometry-only runs are cheap; scale mildly
+
+    result = benchmark.pedantic(
+        lambda: run_fig4(v_maxes=(0.5, 2.0), duration_s=duration),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "%-8s %-12s %-12s %-12s %-12s"
+        % ("v_max", "@25%", "@50%", "@75%", "final"),
+    ]
+    for v_max, data in result.items():
+        series = data["mean_error"]
+        n = len(series)
+        lines.append(
+            "%-8.1f %-12.1f %-12.1f %-12.1f %-12.1f"
+            % (
+                v_max,
+                series[n // 4],
+                series[n // 2],
+                series[3 * n // 4],
+                series[-1],
+            )
+        )
+    lines += [
+        "",
+        "Paper: error exceeds 100 m after 30 minutes for both speeds "
+        "(unbounded growth).",
+    ]
+    report("Figure 4 - odometry-only error over time (%.0f s)" % duration,
+           lines)
+
+    for v_max, data in result.items():
+        series = data["mean_error"]
+        n = len(series)
+        # Unbounded growth: late error far above early error.
+        assert series[-1] > 2.0 * series[n // 6]
+        # Substantial absolute drift by the end of the run.
+        assert data["summary"].final_m > 25.0
+    # Faster robots accumulate error at least as fast.
+    assert (
+        result[2.0]["summary"].time_average_m
+        > 0.8 * result[0.5]["summary"].time_average_m
+    )

@@ -1,0 +1,38 @@
+"""Figure 5: an example of accumulated odometry error.
+
+Paper: illustration of a single robot's real path versus its odometry
+estimate — displacement error accrues continuously and each turn adds an
+angular error, so the final estimate ends far from the true endpoint.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import run_fig5
+
+
+def test_fig5_odometry_error_trace(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_fig5(speed=1.0, master_seed=4), rounds=1, iterations=1
+    )
+    errors = result["errors"]
+    marks = np.linspace(0, len(errors) - 1, 7).astype(int)
+    lines = [
+        "six-waypoint path, length %.0f m, speed 1 m/s"
+        % result["path_length_m"],
+        "error along the path: "
+        + "  ".join("%.1f" % errors[i] for i in marks)
+        + "  (m)",
+        "final error: %.1f m" % result["final_error_m"],
+        "",
+        "Paper: the estimated path diverges from the real one, a little "
+        "more at every turn; the final estimate (x6', y6') ends far from "
+        "the real endpoint (x6, y6).",
+    ]
+    report("Figure 5 - single-robot odometry error accumulation", lines)
+
+    # The error accumulates: non-trivial at the end, small at the start.
+    assert errors[0] == 0.0
+    assert result["final_error_m"] > 2.0
+    # Late-path error exceeds early-path error on average.
+    third = len(errors) // 3
+    assert errors[-third:].mean() > errors[:third].mean()

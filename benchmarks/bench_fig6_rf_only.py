@@ -1,0 +1,52 @@
+"""Figure 6: RF-only localization error over time, varying the period T.
+
+Paper: RF localization bounds the error (unlike odometry); the error is
+smallest right after each beacon round and grows as the frozen estimate
+goes stale, so larger T gives larger time-averaged error.
+"""
+
+from conftest import scaled
+
+from repro.experiments.figures import run_fig6
+
+
+def test_fig6_rf_only_beacon_periods(benchmark, report, calibration):
+    periods = (10.0, 50.0, 100.0, 300.0)
+
+    def run():
+        out = {}
+        for period in periods:
+            duration = scaled(max(6.0 * period, 300.0))
+            out[period] = run_fig6(
+                beacon_periods_s=(period,),
+                duration_s=duration,
+                calibration=calibration,
+            )[period]
+        return out
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "%-8s %-14s %-12s %-12s"
+        % ("T (s)", "avg error (m)", "median (m)", "max (m)"),
+    ]
+    for period in periods:
+        summary = result[period]["summary"]
+        lines.append(
+            "%-8.0f %-14.2f %-12.2f %-12.2f"
+            % (period, summary.time_average_m, summary.median_m,
+               summary.max_m)
+        )
+    lines += [
+        "",
+        "Paper: error bounded (vs odometry's unbounded growth); larger T "
+        "-> staler estimates -> larger average error.",
+    ]
+    report("Figure 6 - RF-only localization error vs beacon period", lines)
+
+    averages = [result[p]["summary"].time_average_m for p in periods]
+    # Larger T means staler frozen estimates: monotone-ish increase, and
+    # the extremes must be well separated.
+    assert averages[0] < averages[-1]
+    assert averages[1] < averages[3]
+    # Bounded: even T=300 stays far below odometry's unbounded drift.
+    assert averages[-1] < 120.0

@@ -1,0 +1,56 @@
+"""Figure 8: CDF of the localization error at three time instants.
+
+Paper: CDFs right after a transmit window (best), in the middle of the
+sleep phase, and at the end of a beacon period (stalest); locations
+deteriorate over the period "but not significantly", and more than 90% of
+robots are within 10 m shortly after localization.
+"""
+
+import numpy as np
+
+from conftest import scaled
+
+from repro.experiments.figures import run_fig8
+
+
+def test_fig8_error_cdfs(benchmark, report, calibration):
+    duration = scaled(700.0)
+
+    result = benchmark.pedantic(
+        lambda: run_fig8(duration_s=duration, calibration=calibration),
+        rounds=1,
+        iterations=1,
+    )
+    order = [
+        "end_of_transmit_window",
+        "middle_of_beacon_period",
+        "end_of_beacon_period",
+    ]
+    lines = [
+        "%-26s %-8s %-12s %-10s %-12s"
+        % ("instant", "t (s)", "median (m)", "p90 (m)", "frac < 10 m"),
+    ]
+    for name in order:
+        data = result[name]
+        frac10 = float((data["errors"] < 10.0).mean())
+        lines.append(
+            "%-26s %-8.0f %-12.2f %-10.2f %-12.2f"
+            % (name, data["time_s"], data["median_m"], data["p90_m"], frac10)
+        )
+    lines += [
+        "",
+        "Paper: best right after beacons; degrades over the period but "
+        "not significantly; >90% of robots within 10 m post-localization.",
+    ]
+    report("Figure 8 - error CDF at three instants of a beacon period",
+           lines)
+
+    post_fix = result["end_of_transmit_window"]
+    stalest = result["end_of_beacon_period"]
+    # Freshly localized is the best of the three instants.
+    assert post_fix["median_m"] <= stalest["median_m"] + 1e-9
+    # Degradation over the period stays bounded (the paper's "not
+    # significantly"): the stale median is within a few x of the fresh one.
+    assert stalest["median_m"] < 6.0 * max(post_fix["median_m"], 1.0)
+    # A solid majority of robots localize well right after the window.
+    assert float((post_fix["errors"] < 10.0).mean()) > 0.6

@@ -1,0 +1,68 @@
+"""Figure 9: impact of the beacon period T on error and energy.
+
+Paper: (a) error is lowest for T around 50-100 s; (b) coordinated
+sleeping consumes 2.6x-8x less energy than leaving radios idle, with the
+savings growing (and flattening) as T grows.  The recommended operating
+range is T in [50, 100] s.
+"""
+
+from conftest import scaled
+
+from repro.experiments.figures import run_fig9
+
+
+def test_fig9_beacon_period_tradeoff(benchmark, report, calibration):
+    periods = (10.0, 50.0, 100.0, 300.0)
+
+    def run():
+        out = {}
+        for period in periods:
+            duration = scaled(max(4.0 * period, 300.0))
+            out[period] = run_fig9(
+                beacon_periods_s=(period,),
+                duration_s=duration,
+                calibration=calibration,
+            )[period]
+        return out
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "%-8s %-14s %-16s %-16s %-10s"
+        % ("T (s)", "avg error (m)", "E coord (J)", "E no-coord (J)",
+           "ratio"),
+    ]
+    for period in periods:
+        data = result[period]
+        lines.append(
+            "%-8.0f %-14.2f %-16.0f %-16.0f %-10.1f"
+            % (
+                period,
+                data["summary"].time_average_m,
+                data["energy_coordinated_j"],
+                data["energy_uncoordinated_j"],
+                data["energy_ratio"],
+            )
+        )
+    lines += [
+        "",
+        "Paper: error best near T=50 (7 m @10, 5 m @50, 6.6 m @100); "
+        "energy 2.6x-8x cheaper with coordination, saving grows with T.",
+        "Note: the paper's T=10 bad-beacon penalty does not reproduce "
+        "under our channel calibration (see EXPERIMENTS.md).",
+    ]
+    report("Figure 9 - beacon period vs accuracy and energy", lines)
+
+    ratios = [result[p]["energy_ratio"] for p in periods]
+    # Savings grow with T (more sleep per period) and land in the paper's
+    # 2.6x-8x ballpark at the extremes.
+    assert ratios == sorted(ratios)
+    assert 1.5 < ratios[0] < 4.5
+    assert 5.0 < ratios[-1] < 14.0
+    # Diminishing returns: T 100 -> 300 buys much less than 10 -> 50.
+    e = {p: result[p]["energy_coordinated_j"] for p in periods}
+    assert (e[10.0] - e[50.0]) > 2.0 * (e[100.0] - e[300.0])
+    # Accuracy degrades sharply for very large T.
+    assert (
+        result[300.0]["summary"].time_average_m
+        > result[50.0]["summary"].time_average_m
+    )

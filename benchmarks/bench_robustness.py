@@ -1,0 +1,146 @@
+"""Robustness: robot failures, Sync-robot death, and failover.
+
+The paper targets disaster response, where robots die mid-mission, yet
+synchronization hangs off a single designated Sync robot.  These benches
+quantify the failure modes and the failover extension that closes them:
+
+- ordinary robot deaths degrade the metric pool gracefully,
+- a dead Sync robot silences SYNC, clocks drift past the wake guard and
+  localization decays,
+- rank-staggered failover plus resync mode restores synchronization with
+  exactly one new Sync robot and no extra protocol traffic.
+"""
+
+import numpy as np
+
+from conftest import scaled
+
+from repro.core.config import CoCoAConfig
+from repro.ext.failures import FailureSchedule, ResilientTeam
+
+
+def test_sync_robot_death_and_failover(benchmark, report, calibration):
+    duration = scaled(500.0, full=1200.0)
+    config = CoCoAConfig(
+        beacon_period_s=50.0, duration_s=duration, master_seed=7
+    )
+    table = calibration.table_for(config)
+    kill_at = duration * 0.2
+
+    def run():
+        out = {}
+        out["baseline"] = ResilientTeam(
+            config, failover=False, pdf_table=table
+        ).run()
+        out["sync_dies"] = ResilientTeam(
+            config,
+            FailureSchedule.of((kill_at, 0)),
+            failover=False,
+            resync_after_silent_periods=None,
+            pdf_table=table,
+        ).run()
+        team = ResilientTeam(
+            config,
+            FailureSchedule.of((kill_at, 0)),
+            failover=True,
+            pdf_table=table,
+        )
+        out["with_failover"] = team.run()
+        out["_team"] = team
+        return out
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    late = int(duration * 0.6)
+
+    def late_error(res):
+        return float(np.nanmean(res.errors[:, late:]))
+
+    team = result["_team"]
+    acting = [f for f in team.failovers.values() if f.is_acting_sync]
+    lines = [
+        "Sync robot killed at t=%.0f s (of %.0f s)" % (kill_at, duration),
+        "",
+        "%-18s %-12s %-14s" % ("scenario", "SYNCs rcvd", "late err (m)"),
+        "%-18s %-12d %-14.2f"
+        % ("no failure", result["baseline"].syncs_received,
+           late_error(result["baseline"])),
+        "%-18s %-12d %-14.2f"
+        % ("sync dies", result["sync_dies"].syncs_received,
+           late_error(result["sync_dies"])),
+        "%-18s %-12d %-14.2f"
+        % ("with failover", result["with_failover"].syncs_received,
+           late_error(result["with_failover"])),
+        "",
+        "takeovers: %d; acting Sync robot(s): %s; resync node-periods: %d"
+        % (
+            sum(f.takeovers for f in team.failovers.values()),
+            [f.node_id for f in acting],
+            sum(n.coordinator.resync_periods for n in team.nodes
+                if n.coordinator is not None),
+        ),
+    ]
+    report("Robustness - Sync robot death and rank-staggered failover",
+           lines)
+
+    # The outage visibly halts SYNC distribution...
+    assert result["sync_dies"].syncs_received < 0.6 * (
+        result["baseline"].syncs_received
+    )
+    # ...failover restores it...
+    assert result["with_failover"].syncs_received > 1.5 * (
+        result["sync_dies"].syncs_received
+    )
+    # ...with exactly one backup in charge (lowest-id anchor).
+    assert len(acting) == 1
+    assert acting[0].node_id == 1
+    # And localization recovers relative to the unprotected outage.
+    assert late_error(result["with_failover"]) <= late_error(
+        result["sync_dies"]
+    )
+
+
+def test_random_robot_attrition(benchmark, report, calibration):
+    duration = scaled(400.0, full=1200.0)
+    config = CoCoAConfig(
+        beacon_period_s=50.0, duration_s=duration, master_seed=9
+    )
+    table = calibration.table_for(config)
+    # Kill 2 anchors (not the Sync robot) and 3 unknowns over the run.
+    schedule = FailureSchedule.of(
+        (duration * 0.2, 5),
+        (duration * 0.35, 30),
+        (duration * 0.5, 12),
+        (duration * 0.65, 40),
+        (duration * 0.8, 45),
+    )
+
+    def run():
+        clean = ResilientTeam(config, pdf_table=table).run()
+        team = ResilientTeam(
+            config, schedule, failover=True, pdf_table=table
+        )
+        return {"clean": clean, "attrition": team.run(), "_team": team}
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    clean, hit = result["clean"], result["attrition"]
+    lines = [
+        "5 robots (2 anchors, 3 unknowns) die across the run",
+        "",
+        "%-12s %-14s %-12s" % ("scenario", "avg err (m)", "beacons"),
+        "%-12s %-14.2f %-12d"
+        % ("clean", clean.time_average_error(), clean.beacons_sent),
+        "%-12s %-14.2f %-12d"
+        % ("attrition", hit.time_average_error(), hit.beacons_sent),
+        "",
+        "Dead unknowns stop counting (NaN); survivors keep localizing.",
+    ]
+    report("Robustness - random robot attrition", lines)
+
+    assert len(result["_team"].dead) == 5
+    # The survivors' accuracy degrades only modestly.
+    assert hit.time_average_error() < clean.time_average_error() + 10.0
+    # Dead anchors really do stop beaconing.
+    assert hit.beacons_sent < clean.beacons_sent
+    # NaNs present but aggregates finite.
+    assert np.isnan(hit.errors).any()
+    assert np.isfinite(hit.time_average_error())

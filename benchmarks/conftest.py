@@ -1,0 +1,48 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one of the paper's evaluation figures and
+prints the same rows/series the paper plots.  By default the scenarios run
+at reduced simulated time so the whole suite finishes in a few minutes;
+set ``REPRO_FULL=1`` for the paper's full 30-minute runs.
+
+Run:
+    pytest benchmarks/ --benchmark-only
+    REPRO_FULL=1 pytest benchmarks/ --benchmark-only   # full fidelity
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import SharedCalibration
+
+FULL_SCALE = os.environ.get("REPRO_FULL", "") == "1"
+
+
+def scaled(short: float, full: float = 1800.0) -> float:
+    """Pick the simulated duration for the current fidelity level."""
+    return full if FULL_SCALE else short
+
+
+@pytest.fixture(scope="session")
+def calibration() -> SharedCalibration:
+    """One calibration cache for the whole benchmark session."""
+    return SharedCalibration()
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print a figure's table straight to the terminal (uncaptured)."""
+
+    def _report(title: str, lines) -> None:
+        with capsys.disabled():
+            print()
+            print("=" * 72)
+            print(title + ("" if FULL_SCALE else "   [reduced scale]"))
+            print("=" * 72)
+            for line in lines:
+                print(line)
+
+    return _report

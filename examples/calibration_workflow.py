@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""The offline calibration phase, step by step (§2.2 and Figure 1).
+
+Shows the workflow a CoCoA deployment runs once per radio/antenna
+configuration:
+
+1. drive a measurement campaign over the channel (distance, RSSI pairs),
+2. bin by RSSI and fit the distance distribution per bin,
+3. inspect the resulting PDF Table — Gaussian bins up to ~40 m, empirical
+   histograms beyond, exactly the paper's Figure 1 dichotomy,
+4. sanity-check ranging: the table's expected distance versus truth.
+
+Run:
+    python examples/calibration_workflow.py
+"""
+
+import numpy as np
+
+from repro.core.calibration import build_pdf_table
+from repro.net.phy import PathLossModel
+from repro.sim.rng import RandomStreams
+
+
+def ascii_pdf(distribution, width=56, support=180.0) -> str:
+    """A terminal sketch of one bin's PDF versus distance."""
+    xs = np.linspace(0.0, support, width)
+    ys = distribution.pdf(xs)
+    top = ys.max()
+    levels = " .:-=+*#%@"
+    return "".join(
+        levels[min(int(v / top * (len(levels) - 1)), len(levels) - 1)]
+        for v in ys
+    )
+
+
+def main() -> None:
+    path_loss = PathLossModel()
+    rng = RandomStreams(2024).get("calibration")
+
+    print("Running the measurement campaign (120000 samples)...")
+    result = build_pdf_table(path_loss, rng, n_samples=120_000)
+    table = result.table
+
+    print("  decodable samples: %d / %d"
+          % (result.n_samples_decodable, result.n_samples_drawn))
+    print("  populated RSSI bins: %d (%d Gaussian, %d histogram)"
+          % (table.n_bins, result.n_gaussian_bins, result.n_histogram_bins))
+    print("  RSSI range: [%d, %d] dBm" % table.rssi_range)
+
+    print("\nPer-bin fits (every 6th bin):")
+    print("%-8s %-6s %-10s %-8s %s" % ("RSSI", "kind", "mean d", "std", "n"))
+    for i, (rssi, dist) in enumerate(table.items()):
+        if i % 6:
+            continue
+        kind = "gauss" if dist.is_gaussian else "hist"
+        print("%-8d %-6s %-10.1f %-8.2f %d"
+              % (rssi, kind, dist.mean_m, dist.std_m, dist.n_samples))
+
+    print("\nFigure 1(a) analogue - a near bin (RSSI = -52 dBm):")
+    near = table.bin_for(-52.0)
+    print("  Gaussian fit: mean %.1f m, sigma %.2f m" % (near.mean_m,
+                                                          near.std_m))
+    print("  [%s]" % ascii_pdf(near))
+
+    print("\nFigure 1(b) analogue - a far bin (RSSI = -86 dBm):")
+    far = table.bin_for(-86.0)
+    print("  %s: mean %.1f m, std %.1f m"
+          % ("Gaussian" if far.is_gaussian else "Empirical histogram",
+             far.mean_m, far.std_m))
+    print("  [%s]" % ascii_pdf(far))
+
+    print("\nRanging sanity check (fresh channel samples):")
+    check_rng = RandomStreams(7).get("check")
+    print("%-12s %-14s %-14s" % ("true d (m)", "sampled RSSI",
+                                 "table E[d|RSSI]"))
+    for true_d in (5.0, 15.0, 30.0, 60.0, 100.0):
+        rssi = float(path_loss.sample_rssi(true_d, check_rng))
+        print("%-12.0f %-14.1f %-14.1f"
+              % (true_d, rssi, table.expected_distance(rssi)))
+    print("\nEach robot stores this table and evaluates Equation (1) "
+          "against it for every received beacon.")
+
+
+if __name__ == "__main__":
+    main()

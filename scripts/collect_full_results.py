@@ -1,0 +1,65 @@
+"""Collect full-scale (paper-fidelity) results for EXPERIMENTS.md."""
+import json, time
+import numpy as np
+from repro.experiments.figures import (
+    run_fig1, run_fig4, run_fig5, run_fig6, run_fig7, run_fig8, run_fig9,
+    run_fig10, run_mrmm_ablation)
+from repro.experiments.runner import SharedCalibration
+
+out = {}
+cal = SharedCalibration()
+t0 = time.time()
+
+def log(msg):
+    print('[%6.0fs] %s' % (time.time() - t0, msg), flush=True)
+
+r = run_fig1()
+out['fig1'] = {str(k): {kk: (float(vv) if isinstance(vv, (int, float)) else str(vv))
+               for kk, vv in v.items() if kk not in ('pdf_x_m', 'pdf_y')}
+               for k, v in r['bins'].items()}
+log('fig1 done')
+
+r = run_fig4()
+out['fig4'] = {str(v): {'avg': d['summary'].time_average_m, 'final': d['summary'].final_m,
+               'max': d['summary'].max_m} for v, d in r.items()}
+log('fig4 done')
+
+r = run_fig5()
+out['fig5'] = {'final_error_m': float(r['final_error_m']), 'path_length_m': float(r['path_length_m'])}
+log('fig5 done')
+
+r = run_fig6(calibration=cal)
+out['fig6'] = {str(T): {'avg': d['summary'].time_average_m, 'max': d['summary'].max_m}
+               for T, d in r.items()}
+log('fig6 done')
+
+r = run_fig7(calibration=cal)
+out['fig7'] = {str(v): {m: {'avg': d['summary'].time_average_m, 'final': d['summary'].final_m}
+               for m, d in modes.items()} for v, modes in r.items()}
+log('fig7 done')
+
+r = run_fig8(calibration=cal)
+out['fig8'] = {name: {'time_s': float(d['time_s']), 'median': d['median_m'], 'p90': d['p90_m'],
+               'frac_lt_10m': float((d['errors'] < 10.0).mean())} for name, d in r.items()}
+log('fig8 done')
+
+r = run_fig9(calibration=cal)
+out['fig9'] = {str(T): {'avg_err': d['summary'].time_average_m,
+               'E_coord': d['energy_coordinated_j'], 'E_nocoord': d['energy_uncoordinated_j'],
+               'ratio': d['energy_ratio']} for T, d in r.items()}
+log('fig9 done')
+
+r = run_fig10(calibration=cal)
+out['fig10'] = {str(c): {'avg': d['summary'].time_average_m, 'max': d['summary'].max_m,
+                'no_fix': d['windows_without_fix']} for c, d in r.items()}
+log('fig10 done')
+
+r = run_mrmm_ablation(duration_s=1800.0, calibration=cal)
+out['mrmm'] = {p: {'ctrl': d['control_packets'], 'data_fwd': d['data_forwarded'],
+               'suppressed': d['forwards_suppressed'], 'syncs': d['syncs_received'],
+               'err': d['error_summary'].time_average_m} for p, d in r.items()}
+log('mrmm done')
+
+with open('/root/repo/results/full_results.json', 'w') as f:
+    json.dump(out, f, indent=2)
+log('ALL DONE')

@@ -1,0 +1,18 @@
+"""Setup shim.
+
+The project metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works through the legacy setuptools path in offline
+environments that lack the ``wheel`` package required by PEP 517
+editable builds.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21", "scipy>=1.7", "networkx>=2.6"],
+)

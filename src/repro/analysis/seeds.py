@@ -1,0 +1,122 @@
+"""Seed sweeps: one scenario, many random worlds.
+
+:func:`run_seed_sweep` re-runs a :class:`~repro.core.config.CoCoAConfig`
+under several master seeds and aggregates the headline metrics.  Because
+every stochastic component derives from the master seed, each run is a
+fully independent world (topologies, noise, clock drifts, calibration
+campaign) while the scenario parameters stay fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import ConfidenceInterval, mean_confidence_interval
+from repro.core.config import CoCoAConfig
+from repro.core.team import TeamResult
+from repro.experiments.metrics import summarize_errors
+from repro.experiments.runner import SharedCalibration, run_scenario
+
+
+@dataclass(frozen=True)
+class SeedSweepResult:
+    """Aggregated metrics over a seed sweep.
+
+    Attributes:
+        config: the (seed-less) scenario swept.
+        seeds: seeds used.
+        error_time_averages_m: per-seed time-average localization error.
+        energy_totals_j: per-seed team energy.
+        error_ci: confidence interval over the error averages.
+        energy_ci: confidence interval over the energy totals.
+    """
+
+    config: CoCoAConfig
+    seeds: List[int]
+    error_time_averages_m: List[float]
+    energy_totals_j: List[float]
+    error_ci: ConfidenceInterval
+    energy_ci: ConfidenceInterval
+
+    @property
+    def worst_seed_error_m(self) -> float:
+        return max(self.error_time_averages_m)
+
+    @property
+    def best_seed_error_m(self) -> float:
+        return min(self.error_time_averages_m)
+
+    @property
+    def relative_spread(self) -> float:
+        """Std/mean of the error metric — the seed-sensitivity measure."""
+        values = np.asarray(self.error_time_averages_m)
+        if values.mean() == 0.0:
+            return 0.0
+        return float(values.std(ddof=1) / values.mean())
+
+
+def run_seed_sweep(
+    config: CoCoAConfig,
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    skip_first_s: Optional[float] = None,
+    calibration: Optional[SharedCalibration] = None,
+) -> SeedSweepResult:
+    """Run ``config`` under each seed and aggregate the metrics.
+
+    Args:
+        config: the scenario; its own ``master_seed`` is ignored.
+        seeds: master seeds to sweep (at least two).
+        skip_first_s: warm-up to exclude from error averaging; defaults
+            to just past the first beacon period.
+        calibration: optional shared calibration cache.
+
+    Raises:
+        ValueError: with fewer than two seeds.
+    """
+    if len(seeds) < 2:
+        raise ValueError("need at least 2 seeds, got %d" % len(seeds))
+    if skip_first_s is None:
+        skip_first_s = min(
+            1.1 * config.beacon_period_s + 5.0, config.duration_s / 2
+        )
+    cal = calibration if calibration is not None else SharedCalibration()
+    errors: List[float] = []
+    energies: List[float] = []
+    for seed in seeds:
+        result: TeamResult = run_scenario(
+            replace(config, master_seed=seed), calibration=cal
+        )
+        summary = summarize_errors(result.errors, skip_first_s=skip_first_s)
+        errors.append(summary.time_average_m)
+        energies.append(result.total_energy_j())
+    return SeedSweepResult(
+        config=config,
+        seeds=list(seeds),
+        error_time_averages_m=errors,
+        energy_totals_j=energies,
+        error_ci=mean_confidence_interval(errors),
+        energy_ci=mean_confidence_interval(energies),
+    )
+
+
+def compare_scenarios(
+    a: SeedSweepResult, b: SeedSweepResult
+) -> Dict[str, float]:
+    """Welch-test the error metric of two sweeps.
+
+    Returns a dict with the mean difference, t statistic and p value —
+    the evidence behind "scenario A is more accurate than scenario B".
+    """
+    from repro.analysis.stats import welch_t_test
+
+    t_stat, p_value = welch_t_test(
+        a.error_time_averages_m, b.error_time_averages_m
+    )
+    return {
+        "mean_difference_m": a.error_ci.mean - b.error_ci.mean,
+        "t_statistic": t_stat,
+        "p_value": p_value,
+    }

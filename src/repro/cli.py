@@ -1,0 +1,274 @@
+"""Command-line interface: run scenarios and regenerate paper figures.
+
+Usage (installed package):
+
+    python -m repro run --robots 50 --anchors 25 --period 100 --duration 600
+    python -m repro run --mode rf_only --period 50
+    python -m repro figure fig9 --duration 600
+    python -m repro calibrate
+
+Every command prints plain-text tables; nothing is plotted, so the tool
+works in any terminal and its output can be diffed in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import (
+    CoCoAConfig,
+    LocalizationFilter,
+    LocalizationMode,
+    MulticastProtocol,
+)
+from repro.core.team import CoCoATeam
+from repro.experiments.metrics import summarize_errors
+from repro.experiments.runner import SharedCalibration
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "CoCoA (ICDCS 2006) reproduction: coordinated cooperative "
+            "localization for mobile multi-robot ad hoc networks."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one scenario and print a summary")
+    run.add_argument("--mode", choices=[m.value for m in LocalizationMode],
+                     default="cocoa", help="localization strategy")
+    run.add_argument("--robots", type=int, default=50, help="team size")
+    run.add_argument("--anchors", type=int, default=25,
+                     help="robots with localization devices")
+    run.add_argument("--period", type=float, default=100.0,
+                     help="beacon period T (s)")
+    run.add_argument("--window", type=float, default=3.0,
+                     help="transmit window t (s)")
+    run.add_argument("--beacons", type=int, default=3,
+                     help="beacons per window k")
+    run.add_argument("--vmax", type=float, default=2.0,
+                     help="maximum robot speed (m/s)")
+    run.add_argument("--duration", type=float, default=1800.0,
+                     help="simulated seconds")
+    run.add_argument("--seed", type=int, default=1, help="master seed")
+    run.add_argument("--no-coordination", action="store_true",
+                     help="keep radios idle instead of sleeping")
+    run.add_argument("--multicast",
+                     choices=[m.value for m in MulticastProtocol],
+                     default="mrmm", help="SYNC multicast protocol")
+    run.add_argument("--filter",
+                     choices=[f.value for f in LocalizationFilter],
+                     default="grid", help="Bayesian representation")
+    run.add_argument("--area", type=float, default=200.0,
+                     help="square deployment area side (m)")
+
+    figure = sub.add_parser(
+        "figure", help="regenerate one of the paper's evaluation figures"
+    )
+    figure.add_argument(
+        "name",
+        choices=[
+            "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "mrmm",
+        ],
+        help="which figure to regenerate",
+    )
+    figure.add_argument("--duration", type=float, default=600.0,
+                        help="simulated seconds per run")
+    figure.add_argument("--seed", type=int, default=1, help="master seed")
+
+    calibrate = sub.add_parser(
+        "calibrate", help="run the offline calibration and print the table"
+    )
+    calibrate.add_argument("--samples", type=int, default=120_000,
+                           help="measurement campaign size")
+    calibrate.add_argument("--seed", type=int, default=1, help="master seed")
+
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> CoCoAConfig:
+    from repro.util.geometry import Rect
+
+    mode = LocalizationMode(args.mode)
+    anchors = args.anchors
+    coordination = not args.no_coordination
+    if mode is LocalizationMode.ODOMETRY_ONLY:
+        anchors = 0
+        coordination = False
+    return CoCoAConfig(
+        area=Rect.square(args.area),
+        n_robots=args.robots,
+        n_anchors=anchors,
+        beacon_period_s=args.period,
+        transmit_window_s=args.window,
+        beacons_per_window=args.beacons,
+        v_max=args.vmax,
+        duration_s=args.duration,
+        master_seed=args.seed,
+        localization_mode=mode,
+        coordination=coordination,
+        multicast=MulticastProtocol(args.multicast),
+        localization_filter=LocalizationFilter(args.filter),
+    )
+
+
+def cmd_run(args: argparse.Namespace, out) -> int:
+    config = _config_from_args(args)
+    print("scenario: %d robots (%d anchors), %s, T=%.0fs t=%.0fs k=%d, "
+          "v_max=%.1f, %.0fs, seed=%d"
+          % (config.n_robots, config.n_anchors,
+             config.localization_mode.value, config.beacon_period_s,
+             config.transmit_window_s, config.beacons_per_window,
+             config.v_max, config.duration_s, config.master_seed),
+          file=out)
+    result = CoCoATeam(config).run()
+    skip = min(config.beacon_period_s * 1.1 + 5.0, config.duration_s / 2)
+    summary = summarize_errors(result.errors, skip_first_s=skip)
+    print("", file=out)
+    print("localization error (after %.0fs warm-up):" % skip, file=out)
+    print("  time-average %.2f m   median %.2f m   p90 %.2f m   final %.2f m"
+          % (summary.time_average_m, summary.median_m, summary.p90_m,
+             summary.final_m), file=out)
+    print("  fixes %d   windows without fix %d"
+          % (result.fixes, result.windows_without_fix), file=out)
+    print("", file=out)
+    print("energy:", file=out)
+    print("  team total %.1f J   mean/node %.2f J   max/node %.2f J"
+          % (result.total_energy_j(), result.energy.mean_per_node_j,
+             result.energy.max_per_node_j), file=out)
+    for key, value in result.energy.breakdown.as_dict().items():
+        print("  %-14s %10.2f J" % (key, value), file=out)
+    print("", file=out)
+    stats = result.channel_stats
+    print("network: beacons %d, delivered %d, collided %d, syncs %d"
+          % (result.beacons_sent, stats.frames_delivered,
+             stats.frames_collided, result.syncs_received), file=out)
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace, out) -> int:
+    from repro.experiments import figures
+
+    cal = SharedCalibration()
+    name = args.name
+    duration = args.duration
+    seed = args.seed
+    if name == "fig1":
+        result = figures.run_fig1(master_seed=seed)
+        for key, data in sorted(result["bins"].items()):
+            print("RSSI %d dBm: %s, mean %.1f m, std %.2f m, skew %.2f"
+                  % (key, "gaussian" if data["is_gaussian"] else "histogram",
+                     data["mean_m"], data["std_m"],
+                     data["sample_skewness"]), file=out)
+    elif name == "fig4":
+        result = figures.run_fig4(duration_s=duration, master_seed=seed)
+        for v_max, data in result.items():
+            print("v_max=%.1f: avg %.1f m, final %.1f m"
+                  % (v_max, data["summary"].time_average_m,
+                     data["summary"].final_m), file=out)
+    elif name == "fig5":
+        result = figures.run_fig5(master_seed=seed)
+        print("path %.0f m, final odometry error %.1f m"
+              % (result["path_length_m"], result["final_error_m"]), file=out)
+    elif name == "fig6":
+        result = figures.run_fig6(
+            duration_s=duration, master_seed=seed, calibration=cal
+        )
+        for period, data in sorted(result.items()):
+            print("T=%-4.0f avg %.2f m" % (period,
+                  data["summary"].time_average_m), file=out)
+    elif name == "fig7":
+        result = figures.run_fig7(
+            duration_s=duration, master_seed=seed, calibration=cal
+        )
+        for v_max, modes in result.items():
+            row = "  ".join("%s %.1f m" % (m, d["summary"].time_average_m)
+                            for m, d in modes.items())
+            print("v_max=%.1f: %s" % (v_max, row), file=out)
+    elif name == "fig8":
+        result = figures.run_fig8(
+            duration_s=duration, master_seed=seed, calibration=cal
+        )
+        for instant, data in result.items():
+            print("%-26s t=%.0fs median %.2f m p90 %.2f m"
+                  % (instant, data["time_s"], data["median_m"],
+                     data["p90_m"]), file=out)
+    elif name == "fig9":
+        result = figures.run_fig9(
+            duration_s=duration, master_seed=seed, calibration=cal
+        )
+        for period, data in sorted(result.items()):
+            print("T=%-4.0f avg %.2f m  E %.0f J vs %.0f J (%.1fx)"
+                  % (period, data["summary"].time_average_m,
+                     data["energy_coordinated_j"],
+                     data["energy_uncoordinated_j"],
+                     data["energy_ratio"]), file=out)
+    elif name == "fig10":
+        result = figures.run_fig10(
+            duration_s=duration, master_seed=seed, calibration=cal
+        )
+        for count, data in sorted(result.items()):
+            print("anchors=%-3d avg %.2f m (no-fix windows %d)"
+                  % (count, data["summary"].time_average_m,
+                     data["windows_without_fix"]), file=out)
+    elif name == "mrmm":
+        result = figures.run_mrmm_ablation(
+            duration_s=duration, master_seed=seed, calibration=cal
+        )
+        for protocol, data in result.items():
+            print("%-6s ctrl %d  data_fwd %d  syncs %d  err %.2f m"
+                  % (protocol, data["control_packets"],
+                     data["data_forwarded"], data["syncs_received"],
+                     data["error_summary"].time_average_m), file=out)
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace, out) -> int:
+    from repro.core.calibration import build_pdf_table
+    from repro.net.phy import PathLossModel
+    from repro.sim.rng import RandomStreams
+
+    result = build_pdf_table(
+        PathLossModel(),
+        RandomStreams(args.seed).get("calibration"),
+        n_samples=args.samples,
+    )
+    table = result.table
+    print("samples: %d drawn, %d decodable"
+          % (result.n_samples_drawn, result.n_samples_decodable), file=out)
+    print("bins: %d (%d gaussian, %d histogram), RSSI [%d, %d] dBm"
+          % (table.n_bins, result.n_gaussian_bins, result.n_histogram_bins,
+             *table.rssi_range), file=out)
+    print("%-8s %-10s %-10s %-8s" % ("RSSI", "kind", "mean d", "std"),
+          file=out)
+    for rssi, dist in table.items():
+        kind = "gaussian" if dist.is_gaussian else "histogram"
+        print("%-8d %-10s %-10.1f %-8.2f"
+              % (rssi, kind, dist.mean_m, dist.std_m), file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    if out is None:
+        out = sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return cmd_run(args, out)
+    if args.command == "figure":
+        return cmd_figure(args, out)
+    if args.command == "calibrate":
+        return cmd_calibrate(args, out)
+    parser.error("unknown command %r" % args.command)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""The grid-based Bayesian localization filter (Equations 1-3).
+
+The deployment area is discretized into square cells; the filter maintains
+a probability mass per cell.  For every received beacon the filter
+
+1. looks the beacon's RSSI up in the PDF Table to get a density over
+   distance,
+2. evaluates that density at every cell's distance to the beacon origin —
+   the ``Constraint(x, y)`` of Equation (1),
+3. multiplies the constraint into the posterior and renormalizes —
+   Equation (2)'s Bayesian update.
+
+The position estimate is the posterior mean — Equation (3)'s expectation —
+and, per the paper, is only trusted once at least three beacons have been
+incorporated.
+
+All operations are vectorized numpy; a 100×100 grid update costs a few
+hundred microseconds, which is what makes 30-minute 50-robot runs cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.pdf_table import PdfTable
+from repro.util.geometry import Rect, Vec2
+
+
+class GridBayesFilter:
+    """Posterior over positions on a regular grid.
+
+    Args:
+        area: the deployment rectangle (the paper's
+            ``[x_min, x_max] x [y_min, y_max]`` bounds).
+        resolution_m: cell side length.
+    """
+
+    def __init__(self, area: Rect, resolution_m: float = 2.0) -> None:
+        if resolution_m <= 0:
+            raise ValueError(
+                "resolution_m must be positive, got %r" % resolution_m
+            )
+        if resolution_m > min(area.width, area.height):
+            raise ValueError("resolution exceeds the deployment area")
+        self._area = area
+        self._resolution = resolution_m
+        nx = max(1, int(round(area.width / resolution_m)))
+        ny = max(1, int(round(area.height / resolution_m)))
+        xs = area.x_min + (np.arange(nx) + 0.5) * (area.width / nx)
+        ys = area.y_min + (np.arange(ny) + 0.5) * (area.height / ny)
+        self._cell_x, self._cell_y = np.meshgrid(xs, ys)
+        self._posterior = np.full((ny, nx), 1.0 / (nx * ny))
+        self._beacons_applied = 0
+        # Scratch buffers reused by apply_beacon's hot path.
+        self._dist_buf = np.empty((ny, nx))
+        self._constraint_buf = np.empty((ny, nx))
+
+    @property
+    def area(self) -> Rect:
+        return self._area
+
+    @property
+    def resolution_m(self) -> float:
+        return self._resolution
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Grid shape as (rows, cols) = (ny, nx)."""
+        return self._posterior.shape
+
+    @property
+    def posterior(self) -> np.ndarray:
+        """The posterior mass grid (read-only view)."""
+        view = self._posterior.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def beacons_applied(self) -> int:
+        """Beacons incorporated since the last reset."""
+        return self._beacons_applied
+
+    def reset_uniform(self) -> None:
+        """Restart from the uniform prior (Equation 2's initial estimate:
+        "a robot is equally likely to be in any position")."""
+        self._posterior.fill(1.0 / self._posterior.size)
+        self._beacons_applied = 0
+
+    def apply_beacon(
+        self, beacon: Vec2, rssi_dbm: float, table: PdfTable
+    ) -> None:
+        """Incorporate one beacon: Equations (1) and (2).
+
+        If the constraint annihilates the posterior (numerically zero mass
+        everywhere — mutually inconsistent evidence), the filter restarts
+        from the newest constraint alone rather than dividing by zero; the
+        newest measurement is the one most consistent with the robot's
+        current position.
+        """
+        distances = self._dist_buf
+        np.subtract(self._cell_x, beacon.x, out=distances)
+        np.square(distances, out=distances)
+        dy = np.subtract(self._cell_y, beacon.y, out=self._constraint_buf)
+        np.square(dy, out=dy)
+        distances += dy
+        np.sqrt(distances, out=distances)
+        constraint = table.pdf(
+            rssi_dbm, distances, out=self._constraint_buf
+        )
+        self._posterior *= constraint
+        total = self._posterior.sum()
+        if total <= 1e-300 or not np.isfinite(total):
+            np.divide(constraint, constraint.sum(), out=self._posterior)
+        else:
+            self._posterior /= total
+        self._beacons_applied += 1
+
+    def estimate(self) -> Vec2:
+        """Posterior-mean position — Equation (3)."""
+        x_hat = float((self._posterior * self._cell_x).sum())
+        y_hat = float((self._posterior * self._cell_y).sum())
+        return Vec2(x_hat, y_hat)
+
+    def mode(self) -> Vec2:
+        """Maximum a-posteriori cell center (diagnostic alternative to
+        the paper's expectation estimator)."""
+        idx = np.unravel_index(
+            int(np.argmax(self._posterior)), self._posterior.shape
+        )
+        return Vec2(
+            float(self._cell_x[idx]), float(self._cell_y[idx])
+        )
+
+    def covariance(self) -> np.ndarray:
+        """2x2 posterior covariance — a confidence measure for extensions
+        (e.g. beacon promotion only trusts low-variance fixes)."""
+        mean = self.estimate()
+        dx = self._cell_x - mean.x
+        dy = self._cell_y - mean.y
+        w = self._posterior
+        cxx = float((w * dx * dx).sum())
+        cyy = float((w * dy * dy).sum())
+        cxy = float((w * dx * dy).sum())
+        return np.array([[cxx, cxy], [cxy, cyy]])
+
+    def position_std_m(self) -> float:
+        """Scalar spread: sqrt of the posterior's total variance."""
+        cov = self.covariance()
+        return float(np.sqrt(max(cov[0, 0] + cov[1, 1], 0.0)))
+
+    def entropy_bits(self) -> float:
+        """Shannon entropy of the posterior in bits (uniform = max)."""
+        p = self._posterior[self._posterior > 0]
+        return float(-(p * np.log2(p)).sum())

@@ -1,0 +1,214 @@
+"""Per-robot position estimation: the three strategies of §4.
+
+:class:`PositionEstimator` implements all three localization modes the
+paper compares, behind one interface driven by the coordinator:
+
+- **ODOMETRY_ONLY** (§4.1): dead reckoning from a provided initial pose;
+  beacons are ignored.
+- **RF_ONLY** (§4.2): the Bayesian filter produces a fix each beacon round;
+  the estimate stays frozen between rounds ("update their position
+  estimates, which remain the same, until the T-second period expires").
+- **COCOA** (§4.3): the fix re-anchors a dead reckoner that tracks the
+  robot through the sleep phase; at the next round the dead-reckoned
+  estimate is thrown away and replaced by the fresh fix ("the robots throw
+  away their currently estimated positions and find a new position using
+  the beacons").
+
+Heading re-anchoring: an RF fix provides position, not orientation.  The
+estimator recovers heading by comparing the displacement the dead reckoner
+*measured* over the beacon period against the displacement the two RF
+fixes *observed*, rotating the heading estimate by the discrepancy.  The
+correction quality scales with how far the robot travelled between fixes,
+which is precisely why very short beacon periods hurt CoCoA (the paper's
+surprising T = 10 s result, §4.3.1) — each correction is derived from a
+displacement comparable to the fix noise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.bayes import GridBayesFilter
+from repro.core.config import LocalizationMode
+from repro.core.pdf_table import PdfTable
+from repro.mobility.dead_reckoning import DeadReckoning
+from repro.mobility.odometry import OdometrySensor
+from repro.util.geometry import Rect, Vec2, normalize_angle
+
+
+class PositionEstimator:
+    """One robot's localization state machine.
+
+    Args:
+        mode: which of the paper's three strategies to run.
+        area: deployment rectangle (grid support).
+        pdf_table: the calibrated PDF Table (unused in ODOMETRY_ONLY).
+        odometry: the robot's odometry sensor (None in RF_ONLY — that
+            baseline deliberately ignores odometry).
+        grid_resolution_m: Bayesian grid cell size.
+        min_beacons_for_fix: beacons required before a fix is trusted
+            (paper: 3).
+        initial_position: starting estimate.  ODOMETRY_ONLY requires the
+            true deployment position ("the robots are provided with their
+            initial coordinates"); the RF modes default to the area's
+            center, the mean of their uniform prior.
+        initial_heading: starting heading estimate (radians); only
+            meaningful when the initial position is trusted.
+        min_heading_fix_displacement_m: displacements shorter than this do
+            not trigger a heading correction (the angle would be pure
+            noise).
+        position_filter: optional pre-built Bayesian filter implementing
+            the ``reset_uniform`` / ``apply_beacon`` / ``estimate`` /
+            ``position_std_m`` / ``beacons_applied`` protocol (e.g. a
+            :class:`~repro.core.particle.ParticleFilter`); defaults to the
+            paper's :class:`~repro.core.bayes.GridBayesFilter`.
+    """
+
+    def __init__(
+        self,
+        mode: LocalizationMode,
+        area: Rect,
+        pdf_table: Optional[PdfTable] = None,
+        odometry: Optional[OdometrySensor] = None,
+        grid_resolution_m: float = 2.0,
+        min_beacons_for_fix: int = 3,
+        initial_position: Optional[Vec2] = None,
+        initial_heading: float = 0.0,
+        min_heading_fix_displacement_m: float = 1.0,
+        position_filter=None,
+    ) -> None:
+        self._mode = mode
+        self._area = area
+        self._table = pdf_table
+        self._odometry = odometry
+        self._min_beacons = min_beacons_for_fix
+        self._min_heading_disp = min_heading_fix_displacement_m
+
+        if mode is LocalizationMode.ODOMETRY_ONLY:
+            if initial_position is None:
+                raise ValueError(
+                    "ODOMETRY_ONLY requires the true initial position"
+                )
+            if odometry is None:
+                raise ValueError("ODOMETRY_ONLY requires an odometry sensor")
+        if mode is not LocalizationMode.ODOMETRY_ONLY and pdf_table is None:
+            raise ValueError("%s requires a PDF table" % mode.value)
+        if mode is LocalizationMode.COCOA and odometry is None:
+            raise ValueError("COCOA requires an odometry sensor")
+
+        start = (
+            initial_position if initial_position is not None else area.center
+        )
+        self._estimate = start
+        self._filter = None
+        if mode is not LocalizationMode.ODOMETRY_ONLY:
+            if position_filter is not None:
+                self._filter = position_filter
+            else:
+                self._filter = GridBayesFilter(area, grid_resolution_m)
+        self._dead_reckoner: Optional[DeadReckoning] = None
+        if odometry is not None and mode is not LocalizationMode.RF_ONLY:
+            self._dead_reckoner = DeadReckoning(start, initial_heading)
+        self._last_fix: Optional[Vec2] = None
+        self._window_open = False
+        self.fixes = 0
+        self.beacons_heard = 0
+        self.windows_without_fix = 0
+        #: Posterior spread of the most recent fix — the "goodness of the
+        #: location" measure the beacon-promotion extension gates on.
+        self.last_fix_std_m: Optional[float] = None
+
+    @property
+    def mode(self) -> LocalizationMode:
+        return self._mode
+
+    @property
+    def estimate(self) -> Vec2:
+        """The robot's current position estimate."""
+        return self._estimate
+
+    @property
+    def has_fix(self) -> bool:
+        """True once at least one RF fix has been produced."""
+        return self._last_fix is not None
+
+    @property
+    def filter(self):
+        return self._filter
+
+    def tick(self, t: float) -> None:
+        """Advance odometry by one integration step (called every second).
+
+        The odometer runs continuously — robots keep moving and measuring
+        while their *radio* sleeps.
+        """
+        if self._odometry is None or self._dead_reckoner is None:
+            return
+        reading = self._odometry.read(t)
+        position = self._dead_reckoner.advance(reading)
+        if self._mode is not LocalizationMode.RF_ONLY:
+            self._estimate = position
+
+    def on_window_open(self) -> None:
+        """A new beacon round begins: restart the filter from uniform."""
+        if self._filter is None:
+            return
+        self._filter.reset_uniform()
+        self._window_open = True
+
+    def on_beacon(self, beacon_position: Vec2, rssi_dbm: float) -> None:
+        """Incorporate a received beacon into the current round's filter.
+
+        Beacons heard while no round is open (e.g. after this node closed
+        its window but before it slept) still count — they seed the filter
+        that the *next* window close will read, matching a real
+        implementation that never throws a measurement away.
+        """
+        if self._filter is None or self._table is None:
+            return
+        self._filter.apply_beacon(beacon_position, rssi_dbm, self._table)
+        self.beacons_heard += 1
+
+    def on_window_close(self) -> None:
+        """The transmit window ended: produce a fix if enough beacons came.
+
+        With fewer than the minimum beacons the robot "continues with its
+        old estimated position from the previous beacon period" (§2.3).
+        """
+        self._window_open = False
+        if self._filter is None:
+            return
+        if self._filter.beacons_applied < self._min_beacons:
+            self.windows_without_fix += 1
+            return
+        fix = self._filter.estimate()
+        self.last_fix_std_m = self._filter.position_std_m()
+        self.fixes += 1
+        if self._mode is LocalizationMode.RF_ONLY:
+            self._estimate = fix
+        else:
+            self._apply_cocoa_fix(fix)
+        self._last_fix = fix
+
+    def _apply_cocoa_fix(self, fix: Vec2) -> None:
+        """Re-anchor the dead reckoner on a fresh RF fix."""
+        reckoner = self._dead_reckoner
+        assert reckoner is not None
+        if self._last_fix is not None:
+            measured = fix - self._last_fix
+            reckoned = reckoner.position - self._last_fix
+            if (
+                measured.norm() >= self._min_heading_disp
+                and reckoned.norm() >= self._min_heading_disp
+            ):
+                correction = normalize_angle(
+                    Vec2.zero().heading_to(measured)
+                    - Vec2.zero().heading_to(reckoned)
+                )
+                reckoner.reset(
+                    fix, normalize_angle(reckoner.heading + correction)
+                )
+                self._estimate = fix
+                return
+        reckoner.reset(fix)
+        self._estimate = fix

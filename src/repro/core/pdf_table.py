@@ -1,0 +1,221 @@
+"""The PDF Table: RSSI → probability density over distance.
+
+This is the central data structure of the localization algorithm (§2.2):
+
+    "This phase constructs the PDF Table, which is stored at each node and
+    maps every RSSI value to a Probability Distribution Function (PDF)
+    versus distance."
+
+Each 1-dBm RSSI bin holds a :class:`DistanceDistribution`.  Following the
+paper's experimental finding (Figure 1), bins whose distances lie within
+40 m are represented as fitted Gaussians, while far-regime bins — where
+multipath breaks the Gaussian shape — fall back to a smoothed empirical
+histogram.  Every distribution keeps a small uniform floor so a single
+outlier beacon can never zero out the Bayesian posterior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+#: Fraction of probability mass spread uniformly over the support to keep
+#: the filter robust against outlier measurements.
+UNIFORM_FLOOR_WEIGHT = 0.02
+
+
+@dataclass(frozen=True)
+class DistanceDistribution:
+    """One RSSI bin's distance PDF: Gaussian or empirical histogram.
+
+    Exactly one representation is active: ``is_gaussian`` selects it.
+
+    Attributes:
+        is_gaussian: True for the fitted-Gaussian near regime.
+        mean_m: Gaussian mean (also stored for histogram bins, as the
+            empirical mean — used for diagnostics and table queries).
+        std_m: Gaussian σ / empirical standard deviation.
+        support_max_m: upper end of the support used for the uniform floor.
+        hist_edges: histogram bin edges (empty for Gaussian bins).
+        hist_density: histogram densities (empty for Gaussian bins).
+        n_samples: calibration samples behind this bin.
+    """
+
+    is_gaussian: bool
+    mean_m: float
+    std_m: float
+    support_max_m: float
+    hist_edges: np.ndarray = field(default_factory=lambda: np.empty(0))
+    hist_density: np.ndarray = field(default_factory=lambda: np.empty(0))
+    n_samples: int = 0
+
+    def pdf(
+        self, distances_m: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Evaluate the density at the given distances (vectorized).
+
+        The returned density mixes the fitted shape with a uniform floor
+        over ``[0, support_max_m]`` (weight
+        :data:`UNIFORM_FLOOR_WEIGHT`), so it is strictly positive on the
+        support.
+
+        Args:
+            distances_m: query distances.
+            out: optional preallocated output buffer of the same shape
+                (the Bayesian grid filter reuses one per update).
+        """
+        d = np.asarray(distances_m, dtype=float)
+        if self.is_gaussian:
+            sigma = max(self.std_m, 0.25)
+            # exp(-((d - mean)/sigma)^2 / 2) / (sigma * sqrt(2*pi)),
+            # computed in place to keep the grid filter's hot path cheap.
+            core = np.subtract(d, self.mean_m, out=out)
+            core *= 1.0 / sigma
+            np.square(core, out=core)
+            core *= -0.5
+            np.exp(core, out=core)
+            core *= 1.0 / (sigma * np.sqrt(2.0 * np.pi))
+        else:
+            # Histogram bins are uniform-width (np.histogram with a fixed
+            # range), so direct indexing replaces searchsorted.
+            n_bins = len(self.hist_density)
+            width = self.hist_edges[-1] / n_bins
+            idx = (d * (1.0 / width)).astype(np.intp)
+            np.clip(idx, 0, n_bins - 1, out=idx)
+            padded = self.hist_density[idx]
+            outside = d >= self.hist_edges[-1]
+            if np.any(outside):
+                padded[outside] = 0.0
+            if out is not None:
+                out[...] = padded
+                core = out
+            else:
+                core = padded
+        floor = UNIFORM_FLOOR_WEIGHT / max(self.support_max_m, 1.0)
+        core *= 1.0 - UNIFORM_FLOOR_WEIGHT
+        core += floor
+        return core
+
+    @staticmethod
+    def gaussian(
+        mean_m: float, std_m: float, support_max_m: float, n_samples: int = 0
+    ) -> "DistanceDistribution":
+        """Build a Gaussian bin."""
+        if std_m < 0:
+            raise ValueError("std_m must be non-negative, got %r" % std_m)
+        return DistanceDistribution(
+            is_gaussian=True,
+            mean_m=float(mean_m),
+            std_m=float(std_m),
+            support_max_m=float(support_max_m),
+            n_samples=n_samples,
+        )
+
+    @staticmethod
+    def from_samples(
+        samples_m: np.ndarray,
+        support_max_m: float,
+        gaussian_limit_m: float = 40.0,
+        hist_bins: int = 32,
+    ) -> "DistanceDistribution":
+        """Fit a bin from calibration samples.
+
+        Uses the paper's rule: a Gaussian when the observed distances are
+        within the near regime (mean ≤ ``gaussian_limit_m``), an empirical
+        histogram otherwise.
+        """
+        samples = np.asarray(samples_m, dtype=float)
+        if samples.size == 0:
+            raise ValueError("cannot fit a distribution from zero samples")
+        mean = float(samples.mean())
+        std = float(samples.std())
+        if mean <= gaussian_limit_m:
+            return DistanceDistribution.gaussian(
+                mean, std, support_max_m, n_samples=samples.size
+            )
+        density, edges = np.histogram(
+            samples,
+            bins=hist_bins,
+            range=(0.0, support_max_m),
+            density=True,
+        )
+        return DistanceDistribution(
+            is_gaussian=False,
+            mean_m=mean,
+            std_m=std,
+            support_max_m=float(support_max_m),
+            hist_edges=edges,
+            hist_density=density,
+            n_samples=samples.size,
+        )
+
+
+class PdfTable:
+    """The calibrated RSSI → distance-PDF lookup table.
+
+    Bins are keyed by integer dBm values.  Lookups for RSSI values between
+    populated bins snap to the nearest available bin; lookups beyond the
+    table's edges clamp to the first/last bin — a beacon is never discarded
+    for having an RSSI the calibration did not cover (it just gets the
+    closest, widest evidence available).
+    """
+
+    def __init__(
+        self,
+        bins: Dict[int, DistanceDistribution],
+        support_max_m: float,
+    ) -> None:
+        if not bins:
+            raise ValueError("PdfTable needs at least one populated bin")
+        if support_max_m <= 0:
+            raise ValueError(
+                "support_max_m must be positive, got %r" % support_max_m
+            )
+        self._bins = dict(bins)
+        self._keys = np.array(sorted(self._bins), dtype=int)
+        self._support_max_m = float(support_max_m)
+
+    @property
+    def support_max_m(self) -> float:
+        """Upper end of the distance support (metres)."""
+        return self._support_max_m
+
+    @property
+    def rssi_range(self) -> Tuple[int, int]:
+        """Lowest and highest populated RSSI bins (dBm)."""
+        return int(self._keys[0]), int(self._keys[-1])
+
+    @property
+    def n_bins(self) -> int:
+        return len(self._bins)
+
+    def bin_for(self, rssi_dbm: float) -> DistanceDistribution:
+        """Return the distribution of the bin nearest to ``rssi_dbm``."""
+        key = int(round(rssi_dbm))
+        dist = self._bins.get(key)
+        if dist is not None:
+            return dist
+        idx = int(np.argmin(np.abs(self._keys - key)))
+        return self._bins[int(self._keys[idx])]
+
+    def pdf(
+        self,
+        rssi_dbm: float,
+        distances_m: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Density over distance for a measured RSSI (Equation 1's
+        ``PDF_RSSI``)."""
+        return self.bin_for(rssi_dbm).pdf(distances_m, out=out)
+
+    def expected_distance(self, rssi_dbm: float) -> float:
+        """The bin's mean distance — a crude point-ranging estimate used
+        by diagnostics and the power-control extension."""
+        return self.bin_for(rssi_dbm).mean_m
+
+    def items(self):
+        """Iterate ``(rssi_dbm, distribution)`` pairs in RSSI order."""
+        for key in self._keys:
+            yield int(key), self._bins[int(key)]

@@ -1,0 +1,136 @@
+"""Per-node energy accounting.
+
+An :class:`EnergyMeter` integrates a radio's state timeline against an
+:class:`~repro.energy.model.EnergyModel` and accumulates per-packet costs.
+The meter is driven by the radio (state changes) and the MAC (packet
+events); the experiment harness reads the final :class:`EnergyBreakdown`.
+
+The paper's energy metric (§3) "includes energy spent during sending and
+receiving both data and control packets as well as energy spent when the
+wireless device is idle or in sleep mode" — the breakdown mirrors exactly
+those categories plus on/off transitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.energy.model import EnergyModel, RadioState
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joules consumed, split by cause."""
+
+    tx_j: float = 0.0
+    rx_j: float = 0.0
+    idle_j: float = 0.0
+    sleep_j: float = 0.0
+    packet_send_j: float = 0.0
+    packet_recv_j: float = 0.0
+    transition_j: float = 0.0
+
+    @property
+    def total_j(self) -> float:
+        """Total energy across all categories."""
+        return (
+            self.tx_j
+            + self.rx_j
+            + self.idle_j
+            + self.sleep_j
+            + self.packet_send_j
+            + self.packet_recv_j
+            + self.transition_j
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the breakdown as a plain dict (stable key order)."""
+        return {
+            "tx_j": self.tx_j,
+            "rx_j": self.rx_j,
+            "idle_j": self.idle_j,
+            "sleep_j": self.sleep_j,
+            "packet_send_j": self.packet_send_j,
+            "packet_recv_j": self.packet_recv_j,
+            "transition_j": self.transition_j,
+            "total_j": self.total_j,
+        }
+
+
+class EnergyMeter:
+    """Integrates radio state durations and per-packet costs into joules."""
+
+    def __init__(self, model: EnergyModel) -> None:
+        self._model = model
+        self._breakdown = EnergyBreakdown()
+        self._packets_sent = 0
+        self._packets_received = 0
+        self._transitions = 0
+
+    @property
+    def model(self) -> EnergyModel:
+        return self._model
+
+    @property
+    def breakdown(self) -> EnergyBreakdown:
+        return self._breakdown
+
+    @property
+    def total_j(self) -> float:
+        return self._breakdown.total_j
+
+    @property
+    def packets_sent(self) -> int:
+        return self._packets_sent
+
+    @property
+    def packets_received(self) -> int:
+        return self._packets_received
+
+    @property
+    def transitions(self) -> int:
+        """Number of sleep/wake (and on/off) transitions charged."""
+        return self._transitions
+
+    def charge_state(self, state: RadioState, duration_s: float) -> None:
+        """Charge baseline power for spending ``duration_s`` in ``state``."""
+        if duration_s < 0:
+            raise ValueError(
+                "duration_s must be non-negative, got %r" % duration_s
+            )
+        energy_j = self._model.state_power_mw(state) * 1e-3 * duration_s
+        if state is RadioState.TX:
+            self._breakdown.tx_j += energy_j
+        elif state is RadioState.RX:
+            self._breakdown.rx_j += energy_j
+        elif state is RadioState.IDLE:
+            self._breakdown.idle_j += energy_j
+        elif state is RadioState.SLEEP:
+            self._breakdown.sleep_j += energy_j
+        # OFF draws nothing by default; if a nonzero off power is configured
+        # it is folded into idle for reporting purposes.
+        elif energy_j > 0.0:
+            self._breakdown.idle_j += energy_j
+
+    def charge_send(self, size_bytes: int) -> None:
+        """Charge the per-packet broadcast-send cost."""
+        self._breakdown.packet_send_j += self._model.send_cost_j(size_bytes)
+        self._packets_sent += 1
+
+    def charge_recv(self, size_bytes: int) -> None:
+        """Charge the per-packet broadcast-receive cost."""
+        self._breakdown.packet_recv_j += self._model.recv_cost_j(size_bytes)
+        self._packets_received += 1
+
+    def charge_wake_transition(self) -> None:
+        """Charge the fixed energy of a SLEEP/OFF -> IDLE transition."""
+        self._breakdown.transition_j += self._model.wake_transition_uj * 1e-6
+        self._transitions += 1
+
+    def charge_sleep_transition(self) -> None:
+        """Charge the fixed energy of an IDLE -> SLEEP transition."""
+        self._breakdown.transition_j += (
+            self._model.sleep_transition_uj * 1e-6
+        )
+        self._transitions += 1

@@ -1,0 +1,118 @@
+"""The Feeney–Nilsson linear energy model for 802.11 interfaces.
+
+Feeney & Nilsson measured per-packet energy as ``cost = m * size + b``
+(separately for sending and receiving broadcast traffic) on a Lucent
+WaveLAN 802.11 card at 2 Mbps — the same card family the paper's testbed
+uses.  On top of the per-packet costs the interface draws a baseline power
+that depends on its state; the paper quotes the two numbers that matter for
+CoCoA's coordination argument: ~900 mW when idle versus ~50 mW asleep.
+
+All constants are configurable so the benchmark harness can run energy
+sensitivity studies, but :meth:`EnergyModel.wavelan_2mbps` reproduces the
+paper's configuration.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.validation import check_non_negative
+
+
+class RadioState(enum.Enum):
+    """Power states of the wireless interface."""
+
+    OFF = "off"
+    SLEEP = "sleep"
+    IDLE = "idle"
+    RX = "rx"
+    TX = "tx"
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Power and per-packet energy constants for one radio type.
+
+    Attributes:
+        tx_power_mw: power drawn while the transmitter is active.
+        rx_power_mw: power drawn while actively decoding a frame.
+        idle_power_mw: power drawn while awake but not sending/receiving
+            (the paper: ~900 mW — "typical 802.11 radios consume as much
+            energy being idle as when receiving packets").
+        sleep_power_mw: power drawn in sleep mode (the paper: ~50 mW).
+        off_power_mw: power drawn when powered off (0).
+        send_cost_per_byte_uj: linear coefficient of the broadcast-send
+            per-packet cost, in microjoules per byte.
+        send_cost_fixed_uj: fixed component of the broadcast-send cost.
+        recv_cost_per_byte_uj: linear coefficient of the broadcast-receive
+            per-packet cost.
+        recv_cost_fixed_uj: fixed component of the broadcast-receive cost.
+        wake_transition_s: time to go from SLEEP (or OFF) to IDLE.
+        wake_transition_uj: additional energy burned by that transition
+            ("energy spent in powering the card on and off", §3).
+        sleep_transition_uj: energy burned entering sleep.
+    """
+
+    tx_power_mw: float = 1400.0
+    rx_power_mw: float = 1000.0
+    idle_power_mw: float = 900.0
+    sleep_power_mw: float = 50.0
+    off_power_mw: float = 0.0
+    send_cost_per_byte_uj: float = 1.9
+    send_cost_fixed_uj: float = 266.0
+    recv_cost_per_byte_uj: float = 0.5
+    recv_cost_fixed_uj: float = 56.0
+    wake_transition_s: float = 0.1
+    wake_transition_uj: float = 1000.0
+    sleep_transition_uj: float = 500.0
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "tx_power_mw",
+            "rx_power_mw",
+            "idle_power_mw",
+            "sleep_power_mw",
+            "off_power_mw",
+            "send_cost_per_byte_uj",
+            "send_cost_fixed_uj",
+            "recv_cost_per_byte_uj",
+            "recv_cost_fixed_uj",
+            "wake_transition_s",
+            "wake_transition_uj",
+            "sleep_transition_uj",
+        ):
+            check_non_negative(field_name, getattr(self, field_name))
+
+    @staticmethod
+    def wavelan_2mbps() -> "EnergyModel":
+        """The paper's configuration (Feeney–Nilsson WaveLAN constants)."""
+        return EnergyModel()
+
+    def state_power_mw(self, state: RadioState) -> float:
+        """Baseline power drawn in ``state``, in milliwatts."""
+        if state is RadioState.TX:
+            return self.tx_power_mw
+        if state is RadioState.RX:
+            return self.rx_power_mw
+        if state is RadioState.IDLE:
+            return self.idle_power_mw
+        if state is RadioState.SLEEP:
+            return self.sleep_power_mw
+        return self.off_power_mw
+
+    def send_cost_j(self, size_bytes: int) -> float:
+        """Incremental energy (joules) to broadcast a frame of this size."""
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be >= 0, got %r" % size_bytes)
+        return (
+            self.send_cost_per_byte_uj * size_bytes + self.send_cost_fixed_uj
+        ) * 1e-6
+
+    def recv_cost_j(self, size_bytes: int) -> float:
+        """Incremental energy (joules) to receive a frame of this size."""
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be >= 0, got %r" % size_bytes)
+        return (
+            self.recv_cost_per_byte_uj * size_bytes + self.recv_cost_fixed_uj
+        ) * 1e-6

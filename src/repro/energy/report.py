@@ -1,0 +1,57 @@
+"""Team-level energy aggregation for the evaluation harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.energy.meter import EnergyBreakdown, EnergyMeter
+
+
+@dataclass(frozen=True)
+class TeamEnergyReport:
+    """Aggregated energy figures over a robot team.
+
+    Attributes:
+        node_totals_j: per-node total energy, in node order.
+        breakdown: element-wise sum of every node's breakdown.
+    """
+
+    node_totals_j: List[float]
+    breakdown: EnergyBreakdown
+
+    @property
+    def total_j(self) -> float:
+        """Team-wide total energy in joules."""
+        return self.breakdown.total_j
+
+    @property
+    def mean_per_node_j(self) -> float:
+        """Average energy per node in joules."""
+        if not self.node_totals_j:
+            return 0.0
+        return sum(self.node_totals_j) / len(self.node_totals_j)
+
+    @property
+    def max_per_node_j(self) -> float:
+        """The hungriest node's total — a proxy for team lifetime."""
+        if not self.node_totals_j:
+            return 0.0
+        return max(self.node_totals_j)
+
+
+def aggregate_meters(meters: Iterable[EnergyMeter]) -> TeamEnergyReport:
+    """Sum per-node meters into a :class:`TeamEnergyReport`."""
+    totals: List[float] = []
+    agg = EnergyBreakdown()
+    for meter in meters:
+        b = meter.breakdown
+        totals.append(b.total_j)
+        agg.tx_j += b.tx_j
+        agg.rx_j += b.rx_j
+        agg.idle_j += b.idle_j
+        agg.sleep_j += b.sleep_j
+        agg.packet_send_j += b.packet_send_j
+        agg.packet_recv_j += b.packet_recv_j
+        agg.transition_j += b.transition_j
+    return TeamEnergyReport(node_totals_j=totals, breakdown=agg)

@@ -1,0 +1,42 @@
+"""Experiment harness: the paper's evaluation, reproducible end to end.
+
+Each ``run_fig*`` function in :mod:`repro.experiments.figures` regenerates
+the data behind one of the paper's evaluation figures and returns it as
+plain dictionaries/arrays; the benchmark suite under ``benchmarks/`` prints
+them as the rows/series the paper plots, and ``EXPERIMENTS.md`` records the
+paper-vs-measured comparison.
+
+Figures can be run at reduced scale (shorter simulated time, fewer seeds)
+for quick regression checks; the benchmarks default to a scale that runs in
+seconds and honour the ``REPRO_FULL=1`` environment variable for
+full-fidelity 30-minute runs.
+"""
+
+from repro.experiments.metrics import (
+    ErrorSummary,
+    cdf_points,
+    summarize_errors,
+)
+from repro.experiments.presets import (
+    fig4_config,
+    fig6_config,
+    fig7_config,
+    fig9_config,
+    fig10_config,
+    headline_config,
+)
+from repro.experiments.runner import SharedCalibration, run_scenario
+
+__all__ = [
+    "ErrorSummary",
+    "summarize_errors",
+    "cdf_points",
+    "headline_config",
+    "fig4_config",
+    "fig6_config",
+    "fig7_config",
+    "fig9_config",
+    "fig10_config",
+    "SharedCalibration",
+    "run_scenario",
+]

@@ -1,0 +1,128 @@
+"""CSV export of figure data.
+
+The benchmarks print human-readable tables; this module writes the same
+series as CSV files so they can be plotted with any tool.  Each figure
+gets one file with a header row; writers are plain ``csv`` so the export
+works anywhere Python does.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, Iterable, List, Sequence, Union
+
+import numpy as np
+
+Number = Union[int, float]
+
+
+def write_csv(
+    path: str,
+    header: Sequence[str],
+    rows: Iterable[Sequence[Number]],
+) -> str:
+    """Write one CSV file, creating parent directories.
+
+    Returns the path for chaining/logging.
+
+    Raises:
+        ValueError: if a row's width does not match the header.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for row in rows:
+            if len(row) != len(header):
+                raise ValueError(
+                    "row width %d does not match header width %d"
+                    % (len(row), len(header))
+                )
+            writer.writerow(row)
+    return path
+
+
+def export_error_series(
+    path: str, series_by_label: Dict[str, Dict[str, np.ndarray]]
+) -> str:
+    """Export error-over-time curves (Figures 4, 6, 7, 9a, 10).
+
+    Args:
+        path: output CSV path.
+        series_by_label: label -> {"times": ..., "mean_error": ...}; all
+            series must share the same time base.
+
+    Returns:
+        The written path.
+
+    Raises:
+        ValueError: on empty input or mismatched time bases.
+    """
+    if not series_by_label:
+        raise ValueError("no series to export")
+    labels = sorted(series_by_label)
+    times = np.asarray(series_by_label[labels[0]]["times"])
+    for label in labels:
+        other = np.asarray(series_by_label[label]["times"])
+        if other.shape != times.shape or not np.allclose(other, times):
+            raise ValueError(
+                "series %r has a different time base" % label
+            )
+    header = ["time_s"] + ["error_m_%s" % label for label in labels]
+    rows = []
+    for i, t in enumerate(times):
+        row = [float(t)]
+        for label in labels:
+            row.append(float(series_by_label[label]["mean_error"][i]))
+        rows.append(row)
+    return write_csv(path, header, rows)
+
+
+def export_cdf(path: str, cdfs: Dict[str, Dict[str, np.ndarray]]) -> str:
+    """Export CDF curves (Figure 8): one (x, y) column pair per instant."""
+    if not cdfs:
+        raise ValueError("no CDFs to export")
+    labels = sorted(cdfs)
+    header: List[str] = []
+    for label in labels:
+        header += ["%s_error_m" % label, "%s_fraction" % label]
+    length = max(len(cdfs[label]["cdf_x"]) for label in labels)
+    rows = []
+    for i in range(length):
+        row: List[float] = []
+        for label in labels:
+            xs = cdfs[label]["cdf_x"]
+            ys = cdfs[label]["cdf_y"]
+            if i < len(xs):
+                row += [float(xs[i]), float(ys[i])]
+            else:
+                row += [float("nan"), float("nan")]
+        rows.append(row)
+    return write_csv(path, header, rows)
+
+
+def export_summary_table(
+    path: str,
+    rows_by_key: Dict[Union[int, float, str], Dict[str, Number]],
+    key_name: str = "parameter",
+) -> str:
+    """Export a parameter-sweep summary (Figures 9, 10, ablations).
+
+    Args:
+        path: output CSV path.
+        rows_by_key: sweep value -> {metric: value}; all rows must share
+            the same metric set.
+        key_name: name of the sweep column.
+    """
+    if not rows_by_key:
+        raise ValueError("no rows to export")
+    keys = sorted(rows_by_key)
+    metrics = sorted(rows_by_key[keys[0]])
+    for key in keys:
+        if sorted(rows_by_key[key]) != metrics:
+            raise ValueError("row %r has different metrics" % (key,))
+    header = [key_name] + list(metrics)
+    rows = [[key] + [rows_by_key[key][m] for m in metrics] for key in keys]
+    return write_csv(path, header, rows)

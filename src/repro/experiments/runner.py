@@ -1,0 +1,64 @@
+"""Scenario execution helpers.
+
+The PDF-Table calibration is a property of the radio hardware, not of any
+particular scenario, so parameter sweeps share one table through
+:class:`SharedCalibration` — both for physical fidelity (the paper
+calibrates once) and to keep sweeps fast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.calibration import build_pdf_table
+from repro.core.config import CoCoAConfig, LocalizationMode
+from repro.core.pdf_table import PdfTable
+from repro.core.team import CoCoATeam, TeamResult
+from repro.sim.rng import RandomStreams
+
+
+class SharedCalibration:
+    """Caches PDF Tables keyed by (channel, receiver, seed, samples)."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[Tuple, PdfTable] = {}
+
+    def table_for(self, config: CoCoAConfig) -> Optional[PdfTable]:
+        """Return (building if needed) the table for a scenario's hardware.
+
+        Returns ``None`` for scenarios that never use RF localization.
+        """
+        if (
+            config.localization_mode is LocalizationMode.ODOMETRY_ONLY
+            or config.n_anchors == 0
+        ):
+            return None
+        key = (
+            config.path_loss,
+            config.receiver,
+            config.master_seed,
+            config.calibration_samples,
+        )
+        table = self._tables.get(key)
+        if table is None:
+            result = build_pdf_table(
+                config.path_loss,
+                RandomStreams(config.master_seed).get("calibration"),
+                n_samples=config.calibration_samples,
+                receiver=config.receiver,
+            )
+            table = result.table
+            self._tables[key] = table
+        return table
+
+
+_default_calibration = SharedCalibration()
+
+
+def run_scenario(
+    config: CoCoAConfig,
+    calibration: Optional[SharedCalibration] = None,
+) -> TeamResult:
+    """Build and run one scenario, reusing calibrations across calls."""
+    cal = calibration if calibration is not None else _default_calibration
+    return CoCoATeam(config, pdf_table=cal.table_for(config)).run()

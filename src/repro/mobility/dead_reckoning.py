@@ -1,0 +1,85 @@
+"""Dead reckoning: integrating odometry increments into a pose estimate.
+
+This is the paper's "odometry only" localization baseline (§4.1) and the
+between-beacon position maintenance inside CoCoA (§2.3): the robot adds each
+measured displacement, along its estimated heading, to its current position
+estimate.  Because both displacement and angular measurement errors
+accumulate, the estimate drifts without bound — Figure 4's central result.
+"""
+
+from __future__ import annotations
+
+from repro.mobility.odometry import OdometryReading
+from repro.util.geometry import Vec2, normalize_angle
+
+
+class DeadReckoning:
+    """Integrates :class:`OdometryReading` increments from an initial pose.
+
+    The estimate is *not* clamped to the deployment area: a drifting
+    dead-reckoned position can legitimately leave the map, and clamping
+    would understate the error the paper measures.
+
+    Args:
+        position: initial position estimate.
+        heading: initial heading estimate in radians.
+    """
+
+    def __init__(self, position: Vec2, heading: float = 0.0) -> None:
+        self._position = position
+        self._heading = normalize_angle(heading)
+        self._distance_integrated = 0.0
+        self._updates = 0
+
+    @property
+    def position(self) -> Vec2:
+        """Current position estimate."""
+        return self._position
+
+    @property
+    def heading(self) -> float:
+        """Current heading estimate (radians, normalized)."""
+        return self._heading
+
+    @property
+    def distance_integrated(self) -> float:
+        """Total absolute measured distance integrated so far."""
+        return self._distance_integrated
+
+    @property
+    def updates(self) -> int:
+        """Number of increments applied since the last reset."""
+        return self._updates
+
+    def advance(self, reading: OdometryReading) -> Vec2:
+        """Apply one odometry increment and return the new estimate.
+
+        The displacement is applied along the heading held *before* the
+        increment's turn, then the heading change — matching a
+        differential-drive robot that drives up to a waypoint and turns in
+        place there.  With this ordering a noiseless odometer reproduces
+        the true path exactly whenever turns coincide with sample
+        boundaries.
+        """
+        self._position = self._position + Vec2.from_polar(
+            reading.distance, self._heading
+        )
+        self._heading = normalize_angle(
+            self._heading + reading.heading_change
+        )
+        self._distance_integrated += abs(reading.distance)
+        self._updates += 1
+        return self._position
+
+    def reset(self, position: Vec2, heading: float = None) -> None:
+        """Re-anchor the estimate, e.g. after an RF localization fix.
+
+        Args:
+            position: new position estimate.
+            heading: new heading estimate; if omitted the current heading
+                estimate is kept (an RF fix gives position, not orientation).
+        """
+        self._position = position
+        if heading is not None:
+            self._heading = normalize_angle(heading)
+        self._updates = 0

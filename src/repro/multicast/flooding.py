@@ -1,0 +1,68 @@
+"""Duplicate suppression for flooded packets.
+
+Every flooding-based protocol (JOIN QUERY dissemination, mesh data
+delivery) must rebroadcast each logical packet at most once per node.
+:class:`DuplicateCache` remembers recently seen origin ids with a bounded
+memory footprint.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class DuplicateCache:
+    """A bounded set of recently seen packet origin ids.
+
+    Maintains insertion order and evicts the oldest entries beyond
+    ``capacity`` — with protocol traffic rates this comfortably outlives
+    any packet still in flight.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive, got %r" % capacity)
+        self._capacity = capacity
+        self._seen: "OrderedDict[int, None]" = OrderedDict()
+
+    def seen_before(self, origin_uid: int) -> bool:
+        """Record ``origin_uid``; return True if it was already known."""
+        if origin_uid in self._seen:
+            return True
+        self._seen[origin_uid] = None
+        if len(self._seen) > self._capacity:
+            self._seen.popitem(last=False)
+        return False
+
+    def __contains__(self, origin_uid: int) -> bool:
+        return origin_uid in self._seen
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+
+class CopyCounter:
+    """Counts how many copies of each flooded packet a node has heard.
+
+    Backs counter-based rebroadcast suppression (MRMM's redundancy-aware
+    pruning): a node that already heard several copies of a packet knows
+    its neighborhood is covered and cancels its own rebroadcast.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive, got %r" % capacity)
+        self._capacity = capacity
+        self._counts: "OrderedDict[int, int]" = OrderedDict()
+
+    def record(self, origin_uid: int) -> int:
+        """Record one more heard copy; return the updated count."""
+        count = self._counts.pop(origin_uid, 0) + 1
+        self._counts[origin_uid] = count
+        if len(self._counts) > self._capacity:
+            self._counts.popitem(last=False)
+        return count
+
+    def count(self, origin_uid: int) -> int:
+        """Copies heard so far (0 if unknown or evicted)."""
+        return self._counts.get(origin_uid, 0)

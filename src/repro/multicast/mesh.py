@@ -1,0 +1,72 @@
+"""Graph views of connectivity and the multicast mesh.
+
+These helpers build :mod:`networkx` graphs from simulation state.  They are
+*analysis* tools — protocols never read them — used by tests (is the mesh
+connected from the source to every member?) and by the MRMM-vs-ODMRP
+ablation benchmark (mesh size, path lengths, redundancy).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+import networkx as nx
+
+from repro.util.geometry import Vec2
+
+
+def connectivity_graph(
+    positions: Dict[int, Vec2], link_range_m: float
+) -> nx.Graph:
+    """Unit-disk connectivity graph over node positions.
+
+    Args:
+        positions: node id -> position.
+        link_range_m: maximum link distance.
+
+    Returns:
+        An undirected graph with one node per robot and an edge between
+        every pair within range, annotated with the pair distance.
+    """
+    if link_range_m <= 0:
+        raise ValueError(
+            "link_range_m must be positive, got %r" % link_range_m
+        )
+    graph = nx.Graph()
+    graph.add_nodes_from(positions)
+    ids = sorted(positions)
+    for i, a in enumerate(ids):
+        for b in ids[i + 1 :]:
+            d = positions[a].distance_to(positions[b])
+            if d <= link_range_m:
+                graph.add_edge(a, b, distance=d)
+    return graph
+
+
+def mesh_graph(
+    positions: Dict[int, Vec2],
+    link_range_m: float,
+    forwarders: Set[int],
+    source: int,
+    members: Iterable[int],
+) -> nx.Graph:
+    """Subgraph of connectivity induced by the mesh participants.
+
+    The mesh consists of the source, the current forwarding group and the
+    group members; data flows over connectivity edges among them.
+    """
+    participants = set(forwarders) | {source} | set(members)
+    mesh_positions = {
+        node: pos for node, pos in positions.items() if node in participants
+    }
+    return connectivity_graph(mesh_positions, link_range_m)
+
+
+def mesh_reaches_all_members(
+    graph: nx.Graph, source: int, members: Iterable[int]
+) -> bool:
+    """True if every member is reachable from the source in the mesh graph."""
+    if source not in graph:
+        return False
+    reachable = nx.node_connected_component(graph, source)
+    return all(member in reachable for member in members)

@@ -1,0 +1,292 @@
+"""The shared broadcast medium.
+
+:class:`BroadcastChannel` connects every node's radio through the
+:class:`~repro.net.phy.PathLossModel`.  A transmission is delivered
+independently to each receiver that
+
+1. is awake for the frame's whole airtime,
+2. samples an RSSI at or above its sensitivity,
+3. is not itself transmitting during the frame (half duplex), and
+4. survives capture: its sampled RSSI must exceed the summed power of all
+   overlapping foreign transmissions by the capture threshold.
+
+Each (transmitter, receiver, frame) triple samples the RSSI noise once; the
+delivered value is exactly what the localization algorithm later looks up in
+the PDF Table, so ranging error in the localization results comes from the
+same channel realization that decided reception.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.mobility.base import MobilityModel
+from repro.net.packet import Packet, ReceivedPacket
+from repro.net.phy import PathLossModel, ReceiverModel
+from repro.net.radio import Radio
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceLog
+from repro.util.geometry import Vec2
+from repro.util.units import dbm_to_mw, mw_to_dbm
+
+ReceiveCallback = Callable[[ReceivedPacket], None]
+
+#: 802.11b long preamble + PLCP header airtime in seconds.
+PREAMBLE_S = 192e-6
+
+
+@dataclass
+class Transmission:
+    """One frame on the air."""
+
+    src: int
+    packet: Packet
+    start: float
+    end: float
+    src_position: Vec2
+
+
+@dataclass
+class _NodeEntry:
+    node_id: int
+    mobility: MobilityModel
+    radio: Radio
+    receiver: ReceiverModel
+    on_receive: ReceiveCallback
+
+
+@dataclass
+class ChannelStats:
+    """Counters the energy/efficiency analyses read after a run."""
+
+    frames_sent: int = 0
+    frames_delivered: int = 0
+    frames_below_sensitivity: int = 0
+    frames_collided: int = 0
+    frames_missed_asleep: int = 0
+    frames_missed_half_duplex: int = 0
+
+
+class BroadcastChannel:
+    """The wireless medium shared by all robots.
+
+    Args:
+        sim: simulation engine.
+        path_loss: the channel's signal model.
+        rng: random stream for RSSI noise.
+        bitrate_bps: physical bitrate (paper: 2 Mbps).
+        preamble_s: fixed per-frame preamble airtime.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        path_loss: PathLossModel,
+        rng: np.random.Generator,
+        bitrate_bps: float = 2e6,
+        preamble_s: float = PREAMBLE_S,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        if bitrate_bps <= 0:
+            raise ValueError(
+                "bitrate_bps must be positive, got %r" % bitrate_bps
+            )
+        self._sim = sim
+        self._path_loss = path_loss
+        self._rng = rng
+        self._bitrate = bitrate_bps
+        self._preamble_s = preamble_s
+        self._nodes: Dict[int, _NodeEntry] = {}
+        self._transmissions: List[Transmission] = []
+        self._trace = trace if trace is not None else TraceLog()
+        self.stats = ChannelStats()
+
+    @property
+    def path_loss(self) -> PathLossModel:
+        return self._path_loss
+
+    @property
+    def node_ids(self) -> List[int]:
+        return sorted(self._nodes)
+
+    def register(
+        self,
+        node_id: int,
+        mobility: MobilityModel,
+        radio: Radio,
+        receiver: ReceiverModel,
+        on_receive: ReceiveCallback,
+    ) -> None:
+        """Attach a node to the medium.
+
+        Raises:
+            ValueError: if the node id is already registered.
+        """
+        if node_id in self._nodes:
+            raise ValueError("node %d already registered" % node_id)
+        self._nodes[node_id] = _NodeEntry(
+            node_id, mobility, radio, receiver, on_receive
+        )
+
+    def airtime_s(self, size_bytes: int) -> float:
+        """Airtime of a frame: preamble plus payload serialization."""
+        return self._preamble_s + (size_bytes * 8.0) / self._bitrate
+
+    def position_of(self, node_id: int) -> Vec2:
+        """Current true position of a registered node."""
+        return self._nodes[node_id].mobility.position(self._sim.now)
+
+    def medium_busy(self, node_id: int) -> bool:
+        """Carrier sense: does ``node_id`` hear energy above its CS threshold?
+
+        Uses mean (noise-free) RSSI — carrier sensing integrates energy over
+        time, which averages fast fading out.
+        """
+        now = self._sim.now
+        self._prune(now)
+        entry = self._nodes[node_id]
+        position = entry.mobility.position(now)
+        for tx in self._transmissions:
+            if tx.src == node_id:
+                continue
+            if tx.start <= now < tx.end:
+                rssi = self._path_loss.mean_rssi(
+                    max(position.distance_to(tx.src_position), 1.0)
+                )
+                if entry.receiver.senses_busy(rssi):
+                    return True
+        return False
+
+    def transmit(self, src_id: int, packet: Packet) -> float:
+        """Put a frame on the air from ``src_id``.
+
+        Returns the frame airtime.  The source radio must be awake; the MAC
+        guarantees this.
+
+        Raises:
+            KeyError: if the source is not registered.
+        """
+        entry = self._nodes[src_id]
+        now = self._sim.now
+        airtime = self.airtime_s(packet.size_bytes)
+        src_position = entry.mobility.position(now)
+        tx = Transmission(src_id, packet, now, now + airtime, src_position)
+        self._prune(now)
+        self._transmissions.append(tx)
+        entry.radio.begin_transmit(airtime)
+        entry.radio.meter.charge_send(packet.size_bytes)
+        self.stats.frames_sent += 1
+        self._trace.emit(
+            now, "channel.tx", src_id, kind=packet.kind, uid=packet.uid
+        )
+
+        for receiver in self._nodes.values():
+            if receiver.node_id == src_id:
+                continue
+            self._offer(tx, receiver, airtime)
+        return airtime
+
+    def _offer(
+        self, tx: Transmission, receiver: _NodeEntry, airtime: float
+    ) -> None:
+        """Decide whether ``receiver`` may decode ``tx``; schedule delivery."""
+        if not receiver.radio.is_awake:
+            self.stats.frames_missed_asleep += 1
+            return
+        if receiver.radio.is_transmitting:
+            self.stats.frames_missed_half_duplex += 1
+            return
+        position = receiver.mobility.position(self._sim.now)
+        distance = max(position.distance_to(tx.src_position), 1.0)
+        rssi = float(self._path_loss.sample_rssi(distance, self._rng))
+        if not receiver.receiver.can_decode(rssi):
+            self.stats.frames_below_sensitivity += 1
+            return
+        receiver.radio.begin_receive(airtime)
+        self._sim.schedule(
+            airtime,
+            self._deliver,
+            tx,
+            receiver.node_id,
+            rssi,
+            name="deliver",
+        )
+
+    def _deliver(self, tx: Transmission, receiver_id: int, rssi: float) -> None:
+        receiver = self._nodes[receiver_id]
+        now = self._sim.now
+        if not receiver.radio.is_awake:
+            # Slept mid-frame (coordination closed the window).
+            self.stats.frames_missed_asleep += 1
+            return
+        if self._transmitted_during(receiver_id, tx.start, tx.end):
+            self.stats.frames_missed_half_duplex += 1
+            return
+        interference_mw = self._interference_mw(tx, receiver)
+        if interference_mw > 0.0:
+            sinr_db = rssi - mw_to_dbm(interference_mw)
+            if sinr_db < receiver.receiver.capture_threshold_db:
+                self.stats.frames_collided += 1
+                self._trace.emit(
+                    now,
+                    "channel.collision",
+                    receiver_id,
+                    kind=tx.packet.kind,
+                    uid=tx.packet.uid,
+                )
+                return
+        receiver.radio.meter.charge_recv(tx.packet.size_bytes)
+        self.stats.frames_delivered += 1
+        self._trace.emit(
+            now,
+            "channel.rx",
+            receiver_id,
+            kind=tx.packet.kind,
+            uid=tx.packet.uid,
+            rssi=rssi,
+        )
+        receiver.on_receive(
+            ReceivedPacket(
+                packet=tx.packet,
+                rssi_dbm=rssi,
+                receive_time=now,
+                receiver=receiver_id,
+            )
+        )
+
+    def _interference_mw(
+        self, tx: Transmission, receiver: _NodeEntry
+    ) -> float:
+        """Summed mean power of foreign frames overlapping ``tx`` at the
+        receiver, in milliwatts."""
+        position = receiver.mobility.position(self._sim.now)
+        total = 0.0
+        for other in self._transmissions:
+            if other is tx or other.src == receiver.node_id:
+                continue
+            if other.start < tx.end and other.end > tx.start:
+                distance = max(position.distance_to(other.src_position), 1.0)
+                total += dbm_to_mw(self._path_loss.mean_rssi(distance))
+        return total
+
+    def _transmitted_during(
+        self, node_id: int, start: float, end: float
+    ) -> bool:
+        for tx in self._transmissions:
+            if tx.src == node_id and tx.start < end and tx.end > start:
+                return True
+        return False
+
+    def _prune(self, now: float) -> None:
+        """Drop transmissions that can no longer affect any decision.
+
+        A one-second grace period comfortably exceeds any frame airtime
+        (a 1500-byte frame at 2 Mbps flies for 6.2 ms).
+        """
+        if self._transmissions and self._transmissions[0].end < now - 1.0:
+            self._transmissions = [
+                tx for tx in self._transmissions if tx.end >= now - 1.0
+            ]

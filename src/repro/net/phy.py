@@ -1,0 +1,169 @@
+"""Physical-layer signal model: path loss, RSSI noise, receiver thresholds.
+
+The paper calibrates its localization model from outdoor 802.11b
+measurements and reports (Figure 1) that:
+
+- for signal strengths down to about -80 dBm — distances up to about 40 m —
+  the PDF of distance given RSSI is well approximated by a Gaussian;
+- beyond 40 m, multipath and fading distort the measurements and the PDF is
+  no longer Gaussian.
+
+:class:`PathLossModel` reproduces exactly those two regimes: a log-distance
+mean with Gaussian shadowing near the transmitter, plus an additional
+occasional deep-fade component beyond ``far_threshold_m``.  The default
+constants place -80 dBm at 40 m and give a usable communication range of
+roughly 150+ m at the receiver sensitivity, matching the paper's hardware
+description.
+
+Everything is vectorized over numpy arrays because the calibration phase
+(:mod:`repro.core.calibration`) samples the channel hundreds of thousands of
+times, and the Bayesian grid filter evaluates distances for every grid cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class PathLossModel:
+    """Log-distance path loss with two-regime measurement noise.
+
+    Mean RSSI at distance ``d`` (metres):
+
+        ``rssi(d) = rssi_at_1m_dbm - 10 * path_loss_exponent * log10(d)``
+
+    Sampled RSSI adds zero-mean Gaussian shadowing with
+    ``gaussian_sigma_db`` everywhere; beyond ``far_threshold_m`` each sample
+    additionally suffers, with probability ``far_fade_prob``, a deep fade
+    drawn from ``N(far_fade_mean_db, far_fade_sigma_db)`` and the baseline
+    sigma widens to ``far_sigma_db`` — which is what breaks the Gaussian
+    shape of the distance PDF in the far regime (Figure 1(b)).
+
+    Attributes:
+        rssi_at_1m_dbm: mean RSSI one metre from the transmitter.
+        path_loss_exponent: log-distance exponent (outdoor ground-level
+            802.11b links typically fall in 2.7-4).
+        gaussian_sigma_db: shadowing σ in the near (Gaussian) regime.
+        far_threshold_m: boundary between the regimes (paper: 40 m).
+        far_sigma_db: shadowing σ beyond the boundary.
+        far_fade_prob: probability a far-regime sample hits a deep fade.
+        far_fade_mean_db: mean extra attenuation of a deep fade.
+        far_fade_sigma_db: σ of the deep-fade attenuation.
+    """
+
+    rssi_at_1m_dbm: float = -32.0
+    path_loss_exponent: float = 3.0
+    gaussian_sigma_db: float = 2.5
+    far_threshold_m: float = 40.0
+    far_sigma_db: float = 3.5
+    far_fade_prob: float = 0.08
+    far_fade_mean_db: float = 5.0
+    far_fade_sigma_db: float = 2.5
+
+    def __post_init__(self) -> None:
+        check_positive("path_loss_exponent", self.path_loss_exponent)
+        check_positive("far_threshold_m", self.far_threshold_m)
+        for name in ("gaussian_sigma_db", "far_sigma_db", "far_fade_sigma_db"):
+            if getattr(self, name) < 0:
+                raise ValueError(
+                    "%s must be non-negative, got %r"
+                    % (name, getattr(self, name))
+                )
+        if not 0.0 <= self.far_fade_prob <= 1.0:
+            raise ValueError(
+                "far_fade_prob must be in [0, 1], got %r" % self.far_fade_prob
+            )
+
+    def mean_rssi(self, distance_m: ArrayLike) -> ArrayLike:
+        """Mean RSSI (dBm) at ``distance_m``; distances below 1 m clamp to 1 m."""
+        d = np.maximum(np.asarray(distance_m, dtype=float), 1.0)
+        result = self.rssi_at_1m_dbm - 10.0 * self.path_loss_exponent * (
+            np.log10(d)
+        )
+        if np.isscalar(distance_m):
+            return float(result)
+        return result
+
+    def distance_for_mean_rssi(self, rssi_dbm: float) -> float:
+        """Invert :meth:`mean_rssi`: the distance whose mean RSSI is given."""
+        exponent = (self.rssi_at_1m_dbm - rssi_dbm) / (
+            10.0 * self.path_loss_exponent
+        )
+        return max(1.0, float(10.0 ** exponent))
+
+    def sample_rssi(
+        self, distance_m: ArrayLike, rng: np.random.Generator
+    ) -> ArrayLike:
+        """Draw noisy RSSI samples for the given distances.
+
+        Args:
+            distance_m: scalar or array of true transmitter-receiver
+                distances in metres.
+            rng: random stream for the shadowing/fading draws.
+
+        Returns:
+            Sampled RSSI in dBm with the same shape as the input.
+        """
+        d = np.atleast_1d(np.asarray(distance_m, dtype=float))
+        rssi = np.asarray(self.mean_rssi(d), dtype=float)
+        far = d > self.far_threshold_m
+        sigma = np.where(far, self.far_sigma_db, self.gaussian_sigma_db)
+        rssi = rssi + rng.normal(0.0, 1.0, size=d.shape) * sigma
+        if np.any(far) and self.far_fade_prob > 0.0:
+            fade_hit = far & (rng.random(size=d.shape) < self.far_fade_prob)
+            if np.any(fade_hit):
+                fades = rng.normal(
+                    self.far_fade_mean_db,
+                    self.far_fade_sigma_db,
+                    size=d.shape,
+                )
+                rssi = rssi - np.where(fade_hit, np.abs(fades), 0.0)
+        if np.isscalar(distance_m):
+            return float(rssi[0])
+        return rssi.reshape(np.shape(distance_m))
+
+
+@dataclass(frozen=True)
+class ReceiverModel:
+    """Receiver-side reception thresholds.
+
+    Attributes:
+        sensitivity_dbm: weakest decodable RSSI (2 Mbps 802.11b cards sit
+            near -93 dBm, giving ~150+ m range under the default channel).
+        carrier_sense_dbm: weakest signal that still marks the medium busy
+            for CSMA (a few dB below sensitivity).
+        capture_threshold_db: SINR margin by which the strongest overlapping
+            frame must beat the sum of interferers to survive a collision.
+    """
+
+    sensitivity_dbm: float = -93.0
+    carrier_sense_dbm: float = -96.0
+    capture_threshold_db: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.carrier_sense_dbm > self.sensitivity_dbm:
+            raise ValueError(
+                "carrier_sense_dbm (%r) should not exceed sensitivity_dbm "
+                "(%r)" % (self.carrier_sense_dbm, self.sensitivity_dbm)
+            )
+        if self.capture_threshold_db < 0:
+            raise ValueError(
+                "capture_threshold_db must be non-negative, got %r"
+                % self.capture_threshold_db
+            )
+
+    def can_decode(self, rssi_dbm: float) -> bool:
+        """True if a frame at this RSSI is decodable in a clean channel."""
+        return rssi_dbm >= self.sensitivity_dbm
+
+    def senses_busy(self, rssi_dbm: float) -> bool:
+        """True if energy at this level marks the medium busy."""
+        return rssi_dbm >= self.carrier_sense_dbm

@@ -1,0 +1,31 @@
+"""Discrete-event simulation kernel.
+
+This package replaces the GloMoSim substrate the paper runs on.  It provides:
+
+- :class:`~repro.sim.engine.Simulator` — a deterministic event-driven
+  scheduler with a floating-point clock in seconds,
+- :class:`~repro.sim.engine.Event` handles that can be cancelled or
+  rescheduled,
+- :class:`~repro.sim.timers.PeriodicTimer` — the building block for beacon
+  periods, SYNC periods and metric sampling,
+- :class:`~repro.sim.rng.RandomStreams` — named, independently seeded random
+  streams so that e.g. mobility noise and RF shadowing are decoupled and
+  every run is exactly reproducible from one master seed,
+- :class:`~repro.sim.trace.TraceLog` — structured event tracing for tests and
+  debugging.
+"""
+
+from repro.sim.engine import Event, Simulator, SimulationError
+from repro.sim.rng import RandomStreams
+from repro.sim.timers import PeriodicTimer
+from repro.sim.trace import TraceLog, TraceRecord
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "SimulationError",
+    "PeriodicTimer",
+    "RandomStreams",
+    "TraceLog",
+    "TraceRecord",
+]

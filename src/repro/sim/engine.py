@@ -1,0 +1,214 @@
+"""The discrete-event simulation engine.
+
+A :class:`Simulator` owns a monotonically non-decreasing clock (float seconds)
+and a priority queue of scheduled callbacks.  Events scheduled for the same
+timestamp fire in FIFO order of scheduling, which keeps runs deterministic
+regardless of floating-point tie-breaking.
+
+The engine is intentionally callback-based rather than coroutine-based: the
+protocols in this reproduction (beaconing, MAC backoff, multicast refresh)
+are all timer-driven state machines, and callbacks keep the hot path cheap.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduler operations (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A handle to a scheduled callback.
+
+    Events are returned by :meth:`Simulator.schedule` and may be cancelled
+    with :meth:`cancel` at any time before they fire.  Cancelled events stay
+    in the internal heap but are skipped when popped (lazy deletion), which
+    keeps cancellation O(1).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "name", "_cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...],
+        name: str,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.name = name
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        """True if :meth:`cancel` has been called."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Idempotent."""
+        self._cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self._cancelled else "pending"
+        return "Event(t=%.6f, name=%r, %s)" % (self.time, self.name, state)
+
+
+class Simulator:
+    """Deterministic discrete-event scheduler.
+
+    Example:
+        >>> sim = Simulator()
+        >>> fired = []
+        >>> _ = sim.schedule(1.5, fired.append, 'a')
+        >>> _ = sim.schedule(0.5, fired.append, 'b')
+        >>> sim.run(until=2.0)
+        >>> fired
+        ['b', 'a']
+        >>> sim.now
+        2.0
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far (cancelled events excluded)."""
+        return self._events_processed
+
+    @property
+    def pending_count(self) -> int:
+        """Number of scheduled, not-yet-cancelled events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Args:
+            delay: non-negative offset from the current time.
+            callback: callable invoked when the event fires.
+            *args: positional arguments passed to the callback.
+            name: optional label used in tracing and ``repr``.
+
+        Returns:
+            An :class:`Event` handle that can be cancelled.
+
+        Raises:
+            SimulationError: if ``delay`` is negative or not finite.
+        """
+        if not delay >= 0.0:
+            raise SimulationError(
+                "cannot schedule in the past: delay=%r at t=%r"
+                % (delay, self._now)
+            )
+        return self.schedule_at(self._now + delay, callback, *args, name=name)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` at an absolute simulation time.
+
+        Raises:
+            SimulationError: if ``time`` precedes the current clock.
+        """
+        if time < self._now:
+            raise SimulationError(
+                "cannot schedule at t=%r, clock already at t=%r"
+                % (time, self._now)
+            )
+        event = Event(float(time), next(self._seq), callback, args, name)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Process events in timestamp order.
+
+        Args:
+            until: if given, stop once the clock would pass this time and
+                leave later events pending; the clock is advanced exactly to
+                ``until``.  If omitted, run until the queue drains.
+
+        Raises:
+            SimulationError: if the simulator is re-entered from a callback,
+                or if ``until`` precedes the current clock.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not re-entrant")
+        if until is not None and until < self._now:
+            raise SimulationError(
+                "cannot run until t=%r, clock already at t=%r"
+                % (until, self._now)
+            )
+        self._running = True
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                self._events_processed += 1
+                event.callback(*event.args)
+            if until is not None:
+                self._now = max(self._now, float(until))
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Process exactly one pending event.
+
+        Returns:
+            True if an event was processed, False if the queue was empty.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def clear(self) -> None:
+        """Drop all pending events without running them."""
+        self._queue.clear()
+
+    def __repr__(self) -> str:
+        return "Simulator(now=%.6f, pending=%d)" % (
+            self._now,
+            self.pending_count,
+        )

@@ -1,0 +1,96 @@
+"""Recurring timers built on the event engine.
+
+:class:`PeriodicTimer` drives every recurring activity in the reproduction:
+beacon periods (``T``), the k beacon transmissions inside a transmit window,
+ODMRP mesh refreshes, per-second metric sampling, and odometry integration
+steps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.engine import Event, Simulator
+
+
+class PeriodicTimer:
+    """Fire a callback every ``period`` seconds until stopped.
+
+    The callback receives the firing count (0-based).  If ``max_fires`` is
+    given the timer stops itself after that many firings — this is how the
+    ``k`` beacons inside a transmit window are generated.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[[int], None],
+        *,
+        start_delay: float = 0.0,
+        max_fires: Optional[int] = None,
+        name: str = "periodic",
+    ) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive, got %r" % period)
+        if start_delay < 0:
+            raise ValueError(
+                "start_delay must be non-negative, got %r" % start_delay
+            )
+        if max_fires is not None and max_fires <= 0:
+            raise ValueError("max_fires must be positive, got %r" % max_fires)
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._max_fires = max_fires
+        self._name = name
+        self._fires = 0
+        self._stopped = False
+        self._event: Optional[Event] = sim.schedule(
+            start_delay, self._fire, name=name
+        )
+
+    @property
+    def fires(self) -> int:
+        """How many times the callback has run."""
+        return self._fires
+
+    @property
+    def running(self) -> bool:
+        """True until :meth:`stop` is called or ``max_fires`` is reached."""
+        return not self._stopped
+
+    @property
+    def period(self) -> float:
+        return self._period
+
+    def reschedule(self, period: float) -> None:
+        """Change the period; takes effect from the *next* firing.
+
+        Used when a SYNC message advertises new ``T``/``t`` values.
+        """
+        if period <= 0:
+            raise ValueError("period must be positive, got %r" % period)
+        self._period = period
+
+    def stop(self) -> None:
+        """Cancel the timer.  Idempotent."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        count = self._fires
+        self._fires += 1
+        done = self._max_fires is not None and self._fires >= self._max_fires
+        if done:
+            self._stopped = True
+            self._event = None
+        else:
+            self._event = self._sim.schedule(
+                self._period, self._fire, name=self._name
+            )
+        self._callback(count)

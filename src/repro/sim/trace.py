@@ -1,0 +1,85 @@
+"""Structured trace logging for the simulation.
+
+A :class:`TraceLog` collects timestamped, categorized records.  Protocol
+implementations emit traces at interesting points (packet sent, beacon
+processed, radio state change, mesh rebuilt); tests and the experiment
+harness then assert on or aggregate over them without the protocols having
+to know who is listening.
+
+Tracing is off by default per category to keep the hot path cheap: a record
+is only materialized when the category is enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: when, what category, who, and free-form details."""
+
+    time: float
+    category: str
+    node: Optional[int]
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return "TraceRecord(t=%.3f, %s, node=%s, %r)" % (
+            self.time,
+            self.category,
+            self.node,
+            self.details,
+        )
+
+
+class TraceLog:
+    """Collects :class:`TraceRecord` objects for enabled categories."""
+
+    def __init__(self, categories: Iterable[str] = ()) -> None:
+        self._enabled: Set[str] = set(categories)
+        self._records: List[TraceRecord] = []
+
+    def enable(self, category: str) -> None:
+        """Start recording ``category`` events."""
+        self._enabled.add(category)
+
+    def disable(self, category: str) -> None:
+        """Stop recording ``category`` events."""
+        self._enabled.discard(category)
+
+    def enabled(self, category: str) -> bool:
+        """True if ``category`` is currently recorded."""
+        return category in self._enabled
+
+    def emit(
+        self,
+        time: float,
+        category: str,
+        node: Optional[int] = None,
+        **details: Any,
+    ) -> None:
+        """Record an event if its category is enabled."""
+        if category in self._enabled:
+            self._records.append(TraceRecord(time, category, node, details))
+
+    def records(self, category: Optional[str] = None) -> List[TraceRecord]:
+        """Return recorded entries, optionally filtered by category."""
+        if category is None:
+            return list(self._records)
+        return [r for r in self._records if r.category == category]
+
+    def count(self, category: str) -> int:
+        """Number of recorded entries in ``category``."""
+        return sum(1 for r in self._records if r.category == category)
+
+    def clear(self) -> None:
+        """Drop all recorded entries (categories stay enabled)."""
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)

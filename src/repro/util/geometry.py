@@ -1,0 +1,192 @@
+"""Planar geometry primitives used throughout the simulator.
+
+The simulation world is a 2-D Euclidean plane.  Robots are points, headings
+are angles in radians measured counter-clockwise from the positive x axis,
+and the deployment area is an axis-aligned rectangle (:class:`Rect`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+TWO_PI = 2.0 * math.pi
+
+
+@dataclass(frozen=True)
+class Vec2:
+    """An immutable 2-D vector / point with float coordinates.
+
+    ``Vec2`` supports the usual vector arithmetic and is hashable, which
+    makes it convenient both as a position and as a dictionary key in
+    trajectory bookkeeping.
+    """
+
+    x: float
+    y: float
+
+    def __add__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Vec2":
+        return Vec2(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Vec2":
+        return Vec2(self.x / scalar, self.y / scalar)
+
+    def __neg__(self) -> "Vec2":
+        return Vec2(-self.x, -self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def dot(self, other: "Vec2") -> float:
+        """Return the dot product with ``other``."""
+        return self.x * other.x + self.y * other.y
+
+    def norm(self) -> float:
+        """Return the Euclidean length of this vector."""
+        return math.hypot(self.x, self.y)
+
+    def distance_to(self, other: "Vec2") -> float:
+        """Return the Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def heading_to(self, other: "Vec2") -> float:
+        """Return the heading (radians, CCW from +x) pointing at ``other``."""
+        return math.atan2(other.y - self.y, other.x - self.x)
+
+    def unit(self) -> "Vec2":
+        """Return a unit-length copy.
+
+        Raises:
+            ZeroDivisionError: if this is the zero vector.
+        """
+        n = self.norm()
+        if n == 0.0:
+            raise ZeroDivisionError("cannot normalize the zero vector")
+        return Vec2(self.x / n, self.y / n)
+
+    def rotated(self, angle: float) -> "Vec2":
+        """Return this vector rotated CCW by ``angle`` radians."""
+        c, s = math.cos(angle), math.sin(angle)
+        return Vec2(c * self.x - s * self.y, s * self.x + c * self.y)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)`` as a plain tuple."""
+        return (self.x, self.y)
+
+    @staticmethod
+    def from_polar(radius: float, angle: float) -> "Vec2":
+        """Build a vector from polar coordinates (radians)."""
+        return Vec2(radius * math.cos(angle), radius * math.sin(angle))
+
+    @staticmethod
+    def zero() -> "Vec2":
+        """Return the origin."""
+        return Vec2(0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle describing the deployment area.
+
+    Follows the paper's convention of bounding coordinates
+    ``[x_min, x_max] x [y_min, y_max]``.
+    """
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_max <= self.x_min or self.y_max <= self.y_min:
+            raise ValueError(
+                "degenerate Rect: (%r, %r, %r, %r)"
+                % (self.x_min, self.y_min, self.x_max, self.y_max)
+            )
+
+    @property
+    def width(self) -> float:
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        return self.y_max - self.y_min
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Vec2:
+        return Vec2(
+            (self.x_min + self.x_max) / 2.0, (self.y_min + self.y_max) / 2.0
+        )
+
+    @property
+    def diagonal(self) -> float:
+        """Length of the rectangle's diagonal — the maximum possible
+        distance between two points inside it."""
+        return math.hypot(self.width, self.height)
+
+    def contains(self, point: Vec2, tolerance: float = 0.0) -> bool:
+        """Return True if ``point`` lies inside (or within ``tolerance``)."""
+        return (
+            self.x_min - tolerance <= point.x <= self.x_max + tolerance
+            and self.y_min - tolerance <= point.y <= self.y_max + tolerance
+        )
+
+    def clamp_point(self, point: Vec2) -> Vec2:
+        """Return ``point`` clamped to lie inside the rectangle."""
+        return Vec2(
+            clamp(point.x, self.x_min, self.x_max),
+            clamp(point.y, self.y_min, self.y_max),
+        )
+
+    @staticmethod
+    def square(side: float) -> "Rect":
+        """Return a square ``side x side`` area anchored at the origin."""
+        if side <= 0:
+            raise ValueError("side must be positive, got %r" % side)
+        return Rect(0.0, 0.0, side, side)
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` to the closed interval ``[low, high]``."""
+    if low > high:
+        raise ValueError("clamp bounds reversed: %r > %r" % (low, high))
+    return low if value < low else high if value > high else value
+
+
+def distance(a: Vec2, b: Vec2) -> float:
+    """Euclidean distance between two points."""
+    return a.distance_to(b)
+
+
+def heading_between(a: Vec2, b: Vec2) -> float:
+    """Heading (radians) of the ray from ``a`` to ``b``."""
+    return a.heading_to(b)
+
+
+def normalize_angle(angle: float) -> float:
+    """Normalize an angle in radians into ``(-pi, pi]``."""
+    angle = math.fmod(angle, TWO_PI)
+    if angle <= -math.pi:
+        angle += TWO_PI
+    elif angle > math.pi:
+        angle -= TWO_PI
+    return angle
+
+
+def wrap_angle_deg(angle_deg: float) -> float:
+    """Normalize an angle in degrees into ``(-180, 180]``."""
+    return math.degrees(normalize_angle(math.radians(angle_deg)))

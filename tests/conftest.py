@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite.
+
+The expensive shared artifact is the calibrated PDF Table; it is built once
+per session from the default channel and reused by every localization test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.calibration import build_pdf_table
+from repro.net.phy import PathLossModel
+from repro.sim.rng import RandomStreams
+
+
+@pytest.fixture(scope="session")
+def default_path_loss():
+    """The default (paper-calibrated) channel model."""
+    return PathLossModel()
+
+
+@pytest.fixture(scope="session")
+def pdf_table(default_path_loss):
+    """A session-wide calibrated PDF Table (60k samples: fast, adequate)."""
+    streams = RandomStreams(1234)
+    return build_pdf_table(
+        default_path_loss, streams.get("calibration"), n_samples=60_000
+    ).table
+
+
+@pytest.fixture()
+def streams():
+    """A fresh named-stream factory with a fixed master seed."""
+    return RandomStreams(42)

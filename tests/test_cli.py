@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults_match_paper(self):
+        args = build_parser().parse_args(["run"])
+        assert args.robots == 50
+        assert args.anchors == 25
+        assert args.period == 100.0
+        assert args.mode == "cocoa"
+
+    def test_figure_names_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--mode", "teleport"])
+
+
+class TestRunCommand:
+    def test_small_cocoa_run(self):
+        code, output = run_cli([
+            "run", "--robots", "12", "--anchors", "6", "--period", "30",
+            "--duration", "65", "--seed", "3",
+        ])
+        assert code == 0
+        assert "time-average" in output
+        assert "team total" in output
+        assert "beacons" in output
+
+    def test_odometry_mode_forces_no_anchors(self):
+        code, output = run_cli([
+            "run", "--mode", "odometry_only", "--robots", "10",
+            "--duration", "40", "--seed", "2",
+        ])
+        assert code == 0
+        assert "(0 anchors)" in output
+
+    def test_no_coordination_flag(self):
+        code, output = run_cli([
+            "run", "--robots", "10", "--anchors", "5", "--period", "20",
+            "--duration", "45", "--no-coordination", "--seed", "2",
+        ])
+        assert code == 0
+        # Radios never slept.
+        assert "sleep_j              0.00 J" in output
+
+    def test_particle_filter_option(self):
+        code, output = run_cli([
+            "run", "--robots", "10", "--anchors", "5", "--period", "20",
+            "--duration", "45", "--filter", "particle", "--seed", "2",
+        ])
+        assert code == 0
+        assert "fixes" in output
+
+
+class TestFigureCommand:
+    def test_fig5(self):
+        code, output = run_cli(["figure", "fig5"])
+        assert code == 0
+        assert "odometry error" in output
+
+    def test_fig1(self):
+        code, output = run_cli(["figure", "fig1"])
+        assert code == 0
+        assert "gaussian" in output
+        assert "histogram" in output
+
+    def test_fig4_short(self):
+        code, output = run_cli(["figure", "fig4", "--duration", "60"])
+        assert code == 0
+        assert "v_max=0.5" in output and "v_max=2.0" in output
+
+
+class TestCalibrateCommand:
+    def test_prints_table(self):
+        code, output = run_cli(["calibrate", "--samples", "30000"])
+        assert code == 0
+        assert "bins:" in output
+        assert "gaussian" in output

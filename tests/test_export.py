@@ -1,0 +1,125 @@
+"""Tests for the CSV export helpers."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.experiments.export import (
+    export_cdf,
+    export_error_series,
+    export_summary_table,
+    write_csv,
+)
+
+
+def read_csv(path):
+    with open(path) as handle:
+        return list(csv.reader(handle))
+
+
+class TestWriteCsv:
+    def test_writes_header_and_rows(self, tmp_path):
+        path = str(tmp_path / "out.csv")
+        write_csv(path, ["a", "b"], [[1, 2], [3, 4]])
+        rows = read_csv(path)
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["1", "2"]
+        assert len(rows) == 3
+
+    def test_creates_directories(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "out.csv")
+        write_csv(path, ["x"], [[1]])
+        assert read_csv(path)[0] == ["x"]
+
+    def test_row_width_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(str(tmp_path / "bad.csv"), ["a", "b"], [[1]])
+
+
+class TestErrorSeries:
+    def test_round_trip(self, tmp_path):
+        times = np.arange(5.0)
+        series = {
+            "cocoa": {"times": times, "mean_error": times * 0.5},
+            "rf": {"times": times, "mean_error": times * 2.0},
+        }
+        path = export_error_series(str(tmp_path / "fig7.csv"), series)
+        rows = read_csv(path)
+        assert rows[0] == ["time_s", "error_m_cocoa", "error_m_rf"]
+        assert float(rows[2][1]) == pytest.approx(0.5)
+        assert float(rows[2][2]) == pytest.approx(2.0)
+
+    def test_mismatched_time_base_rejected(self, tmp_path):
+        series = {
+            "a": {"times": np.arange(5.0), "mean_error": np.zeros(5)},
+            "b": {"times": np.arange(4.0), "mean_error": np.zeros(4)},
+        }
+        with pytest.raises(ValueError):
+            export_error_series(str(tmp_path / "bad.csv"), series)
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_error_series(str(tmp_path / "bad.csv"), {})
+
+
+class TestCdfExport:
+    def test_pads_unequal_lengths(self, tmp_path):
+        cdfs = {
+            "early": {
+                "cdf_x": np.array([1.0, 2.0, 3.0]),
+                "cdf_y": np.array([0.3, 0.6, 1.0]),
+            },
+            "late": {
+                "cdf_x": np.array([5.0]),
+                "cdf_y": np.array([1.0]),
+            },
+        }
+        path = export_cdf(str(tmp_path / "fig8.csv"), cdfs)
+        rows = read_csv(path)
+        assert len(rows) == 4  # header + 3 data rows
+        assert rows[0][0] == "early_error_m"
+        assert rows[3][2] == "nan"
+
+
+class TestSummaryTable:
+    def test_sweep_table(self, tmp_path):
+        data = {
+            10.0: {"err": 5.1, "ratio": 2.3},
+            100.0: {"err": 10.6, "ratio": 8.1},
+        }
+        path = export_summary_table(
+            str(tmp_path / "fig9.csv"), data, key_name="T_s"
+        )
+        rows = read_csv(path)
+        assert rows[0] == ["T_s", "err", "ratio"]
+        assert rows[1][0] == "10.0"
+
+    def test_inconsistent_metrics_rejected(self, tmp_path):
+        data = {1: {"a": 1.0}, 2: {"b": 2.0}}
+        with pytest.raises(ValueError):
+            export_summary_table(str(tmp_path / "bad.csv"), data)
+
+    def test_integration_with_real_run(self, tmp_path, pdf_table):
+        from repro.core.config import CoCoAConfig
+        from repro.core.team import CoCoATeam
+
+        config = CoCoAConfig(
+            n_robots=10,
+            n_anchors=5,
+            beacon_period_s=20.0,
+            duration_s=45.0,
+            master_seed=4,
+        )
+        result = CoCoATeam(config, pdf_table=pdf_table).run()
+        path = export_error_series(
+            str(tmp_path / "run.csv"),
+            {
+                "cocoa": {
+                    "times": result.times,
+                    "mean_error": result.mean_error_series(),
+                }
+            },
+        )
+        rows = read_csv(path)
+        assert len(rows) == len(result.times) + 1

@@ -1,0 +1,162 @@
+"""Tests for the §6 extensions: promotion, power control, geo-routing."""
+
+import networkx as nx
+import pytest
+
+from repro.core.config import CoCoAConfig
+from repro.core.team import CoCoATeam
+from repro.ext.georouting import greedy_route, run_georouting_study
+from repro.ext.power_control import run_power_sweep
+from repro.ext.promotion import PromotionConfig, PromotionTeam
+from repro.util.geometry import Vec2
+
+
+def small_config(**overrides):
+    defaults = dict(
+        n_robots=20,
+        n_anchors=6,
+        beacon_period_s=30.0,
+        duration_s=95.0,
+        master_seed=7,
+        calibration_samples=40_000,
+    )
+    defaults.update(overrides)
+    return CoCoAConfig(**defaults)
+
+
+class TestPromotionConfig:
+    def test_defaults_valid(self):
+        config = PromotionConfig()
+        assert config.max_fix_std_m > 0
+        assert config.k >= 1
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            PromotionConfig(max_fix_std_m=0.0)
+        with pytest.raises(ValueError):
+            PromotionConfig(k=0)
+
+
+class TestPromotionTeam:
+    def test_promoted_unknowns_beacon(self, pdf_table):
+        team = PromotionTeam(
+            small_config(), PromotionConfig(max_fix_std_m=30.0),
+            pdf_table=pdf_table,
+        )
+        team.run()
+        assert team.promotions > 0
+        assert team.promoted_beacons_sent > 0
+
+    def test_tight_gate_promotes_less(self, pdf_table):
+        loose_team = PromotionTeam(
+            small_config(), PromotionConfig(max_fix_std_m=50.0),
+            pdf_table=pdf_table,
+        )
+        loose_team.run()
+        tight_team = PromotionTeam(
+            small_config(), PromotionConfig(max_fix_std_m=2.0),
+            pdf_table=pdf_table,
+        )
+        tight_team.run()
+        assert tight_team.promotions <= loose_team.promotions
+
+    def test_unpromoted_matches_baseline_structure(self, pdf_table):
+        """With an impossible gate the team behaves like plain CoCoA."""
+        team = PromotionTeam(
+            small_config(), PromotionConfig(max_fix_std_m=1e-6),
+            pdf_table=pdf_table,
+        )
+        result = team.run()
+        assert team.promoted_beacons_sent == 0
+        baseline = CoCoATeam(small_config(), pdf_table=pdf_table).run()
+        assert result.beacons_sent == baseline.beacons_sent
+
+
+class TestPowerControl:
+    def test_sweep_monotone_range(self, pdf_table):
+        points = run_power_sweep(
+            power_deltas_db=(-6.0, 6.0),
+            base_config=small_config(n_anchors=10),
+            duration_s=95.0,
+        )
+        low, high = points
+        assert high.range_m > low.range_m
+        assert high.power_delta_db == 6.0
+
+    def test_energy_reflects_tx_scaling(self, pdf_table):
+        points = run_power_sweep(
+            power_deltas_db=(0.0, 6.0),
+            base_config=small_config(n_anchors=10),
+            duration_s=95.0,
+        )
+        # Higher power must not make the team cheaper.
+        assert points[1].total_energy_j >= points[0].total_energy_j * 0.95
+
+
+class TestGreedyRoute:
+    def grid_graph(self):
+        positions = {
+            i + 4 * j: Vec2(40.0 * i, 40.0 * j)
+            for i in range(4)
+            for j in range(3)
+        }
+        graph = nx.Graph()
+        graph.add_nodes_from(positions)
+        for a in positions:
+            for b in positions:
+                if a < b and positions[a].distance_to(positions[b]) <= 45.0:
+                    graph.add_edge(a, b)
+        return graph, positions
+
+    def test_routes_across_grid(self):
+        graph, positions = self.grid_graph()
+        path = greedy_route(graph, positions, 0, 11)
+        assert path is not None
+        assert path[0] == 0 and path[-1] == 11
+        # Every hop is a real edge.
+        for a, b in zip(path, path[1:]):
+            assert graph.has_edge(a, b)
+
+    def test_source_equals_destination(self):
+        graph, positions = self.grid_graph()
+        assert greedy_route(graph, positions, 3, 3) == [3]
+
+    def test_unknown_node_fails(self):
+        graph, positions = self.grid_graph()
+        assert greedy_route(graph, positions, 0, 99) is None
+
+    def test_local_minimum_fails(self):
+        # A 'void': destination reachable only by moving away from it.
+        positions = {
+            0: Vec2(0, 0),
+            1: Vec2(0, 50),
+            2: Vec2(50, 70),
+            3: Vec2(10, 0),  # close to 0 in space, not connected toward it
+        }
+        graph = nx.Graph([(0, 1), (1, 2), (2, 3)])
+        # From 0 toward 3: neighbor 1 is farther from 3 than 0 is.
+        assert greedy_route(graph, positions, 0, 3) is None
+
+    def test_bad_coordinates_can_break_routing(self):
+        graph, positions = self.grid_graph()
+        scrambled = dict(positions)
+        # Corrupt an intermediate node's advertised position badly.
+        scrambled[5] = Vec2(500.0, 500.0)
+        ok = greedy_route(graph, positions, 0, 11)
+        assert ok is not None
+
+    def test_study_end_to_end(self):
+        result = run_georouting_study(
+            small_config(n_robots=25, n_anchors=12, duration_s=95.0),
+            snapshot_times=(45.0, 80.0),
+            pairs_per_snapshot=20,
+        )
+        assert result.attempts > 0
+        assert 0.0 <= result.delivery_rate_estimated <= 1.0
+        assert result.delivery_rate_true > 0.5
+
+    def test_snapshot_beyond_duration_rejected(self):
+        with pytest.raises(ValueError):
+            run_georouting_study(
+                small_config(duration_s=95.0), snapshot_times=(200.0,)
+            )

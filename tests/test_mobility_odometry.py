@@ -1,0 +1,181 @@
+"""Unit tests for odometry sensing and dead reckoning."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mobility.base import ScriptedMobility, StationaryMobility
+from repro.mobility.dead_reckoning import DeadReckoning
+from repro.mobility.odometry import OdometryNoise, OdometrySensor
+from repro.mobility.waypoint import WaypointMobility
+from repro.sim.rng import RandomStreams
+from repro.util.geometry import Rect, Vec2
+
+
+@pytest.fixture()
+def rng():
+    return RandomStreams(3).get("odometry")
+
+
+class TestOdometryNoise:
+    def test_defaults_match_paper(self):
+        noise = OdometryNoise()
+        assert noise.displacement_std_per_s == pytest.approx(0.1)
+        assert noise.angular_std_rad == pytest.approx(math.radians(10.0))
+
+    def test_noiseless_factory(self):
+        noise = OdometryNoise.noiseless()
+        assert noise.displacement_std_per_s == 0.0
+        assert noise.angular_std_rad == 0.0
+        assert noise.heading_drift_std_rad_per_sqrt_s == 0.0
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            OdometryNoise(displacement_std_per_s=-0.1)
+        with pytest.raises(ValueError):
+            OdometryNoise(angular_std_rad=-0.1)
+        with pytest.raises(ValueError):
+            OdometryNoise(heading_drift_std_rad_per_sqrt_s=-0.1)
+        with pytest.raises(ValueError):
+            OdometryNoise(turn_threshold_rad=-0.1)
+
+
+class TestOdometrySensor:
+    def test_noiseless_straight_line(self, rng):
+        mob = ScriptedMobility([Vec2(0, 0), Vec2(100, 0)], speed=2.0)
+        sensor = OdometrySensor(mob, rng, noise=OdometryNoise.noiseless())
+        reading = sensor.read(5.0)
+        assert reading.distance == pytest.approx(10.0)
+        assert reading.heading_change == pytest.approx(0.0)
+        assert reading.dt == pytest.approx(5.0)
+
+    def test_noiseless_turn_measured_exactly(self, rng):
+        mob = ScriptedMobility(
+            [Vec2(0, 0), Vec2(10, 0), Vec2(10, 10)], speed=1.0
+        )
+        sensor = OdometrySensor(mob, rng, noise=OdometryNoise.noiseless())
+        sensor.read(9.5)
+        reading = sensor.read(10.5)  # crosses the 90-degree turn
+        assert reading.heading_change == pytest.approx(math.pi / 2)
+
+    def test_stationary_robot_reads_zero(self, rng):
+        sensor = OdometrySensor(
+            StationaryMobility(Vec2(1, 1)), rng, noise=OdometryNoise()
+        )
+        reading = sensor.read(1.0)
+        assert reading.distance == 0.0
+        assert reading.heading_change == 0.0
+
+    def test_reads_must_advance_time(self, rng):
+        sensor = OdometrySensor(StationaryMobility(Vec2(0, 0)), rng)
+        sensor.read(1.0)
+        with pytest.raises(ValueError):
+            sensor.read(1.0)
+        with pytest.raises(ValueError):
+            sensor.read(0.5)
+
+    def test_displacement_noise_scale(self):
+        """Measured distances over 1 s should deviate with σ ≈ 0.1 m."""
+        mob = ScriptedMobility([Vec2(0, 0), Vec2(5000, 0)], speed=1.0)
+        noise = OdometryNoise(
+            displacement_std_per_s=0.1,
+            angular_std_rad=0.0,
+            heading_drift_std_rad_per_sqrt_s=0.0,
+        )
+        sensor = OdometrySensor(
+            mob, RandomStreams(1).get("x"), noise=noise
+        )
+        deviations = [
+            sensor.read(float(t)).distance - 1.0 for t in range(1, 2001)
+        ]
+        assert abs(float(np.mean(deviations))) < 0.02
+        assert float(np.std(deviations)) == pytest.approx(0.1, rel=0.15)
+
+    def test_straight_motion_without_drift_keeps_heading(self):
+        mob = ScriptedMobility([Vec2(0, 0), Vec2(1000, 0)], speed=1.0)
+        noise = OdometryNoise(
+            displacement_std_per_s=0.1,
+            angular_std_rad=math.radians(10.0),
+            heading_drift_std_rad_per_sqrt_s=0.0,
+        )
+        sensor = OdometrySensor(mob, RandomStreams(1).get("x"), noise=noise)
+        for t in range(1, 100):
+            assert sensor.read(float(t)).heading_change == 0.0
+
+    def test_heading_drift_accumulates_with_motion(self):
+        mob = ScriptedMobility([Vec2(0, 0), Vec2(5000, 0)], speed=1.0)
+        noise = OdometryNoise(
+            displacement_std_per_s=0.0,
+            angular_std_rad=0.0,
+            heading_drift_std_rad_per_sqrt_s=math.radians(1.5),
+        )
+        sensor = OdometrySensor(mob, RandomStreams(1).get("x"), noise=noise)
+        changes = [sensor.read(float(t)).heading_change for t in range(1, 1001)]
+        assert float(np.std(changes)) == pytest.approx(
+            math.radians(1.5), rel=0.15
+        )
+
+
+class TestDeadReckoning:
+    def test_perfect_odometry_tracks_truth(self, rng):
+        mob = ScriptedMobility(
+            [Vec2(0, 0), Vec2(50, 0), Vec2(50, 50), Vec2(0, 50)], speed=1.0
+        )
+        sensor = OdometrySensor(mob, rng, noise=OdometryNoise.noiseless())
+        reckoner = DeadReckoning(Vec2(0, 0), mob.heading(0.0))
+        horizon = int(mob.travel_time)
+        for t in range(1, horizon + 1):
+            reckoner.advance(sensor.read(float(t)))
+        assert reckoner.position.distance_to(
+            mob.position(float(horizon))
+        ) == pytest.approx(0.0, abs=1e-6)
+
+    def test_error_grows_with_time_with_noise(self):
+        """The Figure 4 behaviour: noisy odometry drifts without bound."""
+        area = Rect.square(200.0)
+        errors_early, errors_late = [], []
+        for robot in range(12):
+            streams = RandomStreams(robot)
+            mob = WaypointMobility(area, streams.get("mob"), v_max=2.0)
+            sensor = OdometrySensor(mob, streams.get("odo"))
+            reckoner = DeadReckoning(mob.position(0.0), mob.heading(0.0))
+            for t in range(1, 1201):
+                reckoner.advance(sensor.read(float(t)))
+                if t == 120:
+                    errors_early.append(
+                        reckoner.position.distance_to(mob.position(float(t)))
+                    )
+            errors_late.append(
+                reckoner.position.distance_to(mob.position(1200.0))
+            )
+        assert np.mean(errors_late) > 3.0 * np.mean(errors_early)
+
+    def test_reset_reanchors_position(self):
+        reckoner = DeadReckoning(Vec2(0, 0), 0.0)
+        reckoner.reset(Vec2(10, 10))
+        assert reckoner.position == Vec2(10, 10)
+        assert reckoner.updates == 0
+
+    def test_reset_keeps_heading_unless_given(self):
+        reckoner = DeadReckoning(Vec2(0, 0), 1.0)
+        reckoner.reset(Vec2(5, 5))
+        assert reckoner.heading == pytest.approx(1.0)
+        reckoner.reset(Vec2(5, 5), heading=2.0)
+        assert reckoner.heading == pytest.approx(2.0)
+
+    def test_distance_integrated_accumulates(self, rng):
+        mob = ScriptedMobility([Vec2(0, 0), Vec2(100, 0)], speed=1.0)
+        sensor = OdometrySensor(mob, rng, noise=OdometryNoise.noiseless())
+        reckoner = DeadReckoning(Vec2(0, 0), 0.0)
+        for t in range(1, 11):
+            reckoner.advance(sensor.read(float(t)))
+        assert reckoner.distance_integrated == pytest.approx(10.0)
+        assert reckoner.updates == 10
+
+    def test_heading_normalized(self, rng):
+        from repro.mobility.odometry import OdometryReading
+
+        reckoner = DeadReckoning(Vec2(0, 0), 3.0)
+        reckoner.advance(OdometryReading(0.0, 1.0, 1.0, 3.0))
+        assert -math.pi < reckoner.heading <= math.pi

@@ -1,0 +1,149 @@
+"""Unit tests for packet framing and the physical-layer model."""
+
+import numpy as np
+import pytest
+
+from repro.net.packet import IP_HEADER_BYTES, UDP_HEADER_BYTES, Packet
+from repro.net.phy import PathLossModel, ReceiverModel
+from repro.sim.rng import RandomStreams
+
+
+class TestPacket:
+    def test_size_includes_both_headers(self):
+        packet = Packet(src=1, kind="beacon", payload=None, payload_bytes=16)
+        # The paper: IP and UDP headers, 20 bytes each, plus x/y payload.
+        assert IP_HEADER_BYTES == 20
+        assert UDP_HEADER_BYTES == 20
+        assert packet.size_bytes == 56
+
+    def test_uids_unique(self):
+        a = Packet(src=1, kind="x", payload=None, payload_bytes=0)
+        b = Packet(src=1, kind="x", payload=None, payload_bytes=0)
+        assert a.uid != b.uid
+
+    def test_origin_uid_defaults_to_uid(self):
+        p = Packet(src=1, kind="x", payload=None, payload_bytes=0)
+        assert p.origin_uid == p.uid
+
+    def test_forwarded_copy_keeps_origin(self):
+        p = Packet(src=1, kind="x", payload="body", payload_bytes=4, ttl=3)
+        f = p.forwarded_by(2)
+        assert f.src == 2
+        assert f.origin_uid == p.uid
+        assert f.uid != p.uid
+        assert f.ttl == 2
+        assert f.payload == "body"
+
+    def test_forward_with_exhausted_ttl_rejected(self):
+        p = Packet(src=1, kind="x", payload=None, payload_bytes=0, ttl=0)
+        with pytest.raises(ValueError):
+            p.forwarded_by(2)
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(src=1, kind="x", payload=None, payload_bytes=-1)
+        with pytest.raises(ValueError):
+            Packet(src=1, kind="x", payload=None, payload_bytes=0, ttl=-1)
+
+
+class TestPathLossModel:
+    def test_mean_rssi_decreases_with_distance(self):
+        model = PathLossModel()
+        assert model.mean_rssi(10.0) > model.mean_rssi(50.0)
+        assert model.mean_rssi(50.0) > model.mean_rssi(150.0)
+
+    def test_paper_calibration_point(self):
+        """-80 dBm corresponds to about 40 m (§2.2 verification)."""
+        model = PathLossModel()
+        assert model.mean_rssi(40.0) == pytest.approx(-80.0, abs=0.5)
+
+    def test_distances_below_one_meter_clamped(self):
+        model = PathLossModel()
+        assert model.mean_rssi(0.01) == model.mean_rssi(1.0)
+
+    def test_inverse_roundtrip(self):
+        model = PathLossModel()
+        for d in (2.0, 10.0, 40.0, 120.0):
+            rssi = model.mean_rssi(d)
+            assert model.distance_for_mean_rssi(rssi) == pytest.approx(d)
+
+    def test_mean_rssi_vectorized(self):
+        model = PathLossModel()
+        d = np.array([1.0, 10.0, 100.0])
+        result = model.mean_rssi(d)
+        assert result.shape == (3,)
+        assert result[0] == pytest.approx(model.rssi_at_1m_dbm)
+
+    def test_sample_rssi_scalar_and_array(self):
+        model = PathLossModel()
+        rng = RandomStreams(1).get("phy")
+        scalar = model.sample_rssi(10.0, rng)
+        assert isinstance(scalar, float)
+        arr = model.sample_rssi(np.full(100, 10.0), rng)
+        assert arr.shape == (100,)
+
+    def test_near_regime_noise_is_gaussian_scale(self):
+        model = PathLossModel()
+        rng = RandomStreams(1).get("phy")
+        samples = model.sample_rssi(np.full(20000, 20.0), rng)
+        residual = samples - model.mean_rssi(20.0)
+        assert abs(float(np.mean(residual))) < 0.1
+        assert float(np.std(residual)) == pytest.approx(
+            model.gaussian_sigma_db, rel=0.05
+        )
+
+    def test_far_regime_has_negative_skew(self):
+        """Deep fades beyond 40 m skew RSSI downward — the non-Gaussian
+        regime of Figure 1(b)."""
+        model = PathLossModel()
+        rng = RandomStreams(1).get("phy")
+        samples = model.sample_rssi(np.full(40000, 80.0), rng)
+        residual = samples - model.mean_rssi(80.0)
+        skew = float(
+            np.mean((residual - residual.mean()) ** 3) / np.std(residual) ** 3
+        )
+        assert skew < -0.15
+
+    def test_far_noise_wider_than_near(self):
+        model = PathLossModel()
+        rng = RandomStreams(2).get("phy")
+        near = model.sample_rssi(np.full(20000, 20.0), rng)
+        far = model.sample_rssi(np.full(20000, 80.0), rng)
+        assert float(np.std(far)) > float(np.std(near))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            PathLossModel(path_loss_exponent=0.0)
+        with pytest.raises(ValueError):
+            PathLossModel(far_fade_prob=1.5)
+        with pytest.raises(ValueError):
+            PathLossModel(gaussian_sigma_db=-1.0)
+
+
+class TestReceiverModel:
+    def test_decode_threshold(self):
+        receiver = ReceiverModel()
+        assert receiver.can_decode(receiver.sensitivity_dbm)
+        assert not receiver.can_decode(receiver.sensitivity_dbm - 0.1)
+
+    def test_carrier_sense_below_sensitivity(self):
+        receiver = ReceiverModel()
+        assert receiver.carrier_sense_dbm <= receiver.sensitivity_dbm
+        assert receiver.senses_busy(receiver.carrier_sense_dbm)
+        assert not receiver.senses_busy(receiver.carrier_sense_dbm - 0.1)
+
+    def test_inconsistent_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            ReceiverModel(sensitivity_dbm=-95.0, carrier_sense_dbm=-90.0)
+
+    def test_negative_capture_rejected(self):
+        with pytest.raises(ValueError):
+            ReceiverModel(capture_threshold_db=-1.0)
+
+    def test_default_range_exceeds_100m(self):
+        """With the default channel the usable range comfortably covers
+        multi-hop operation over the 200 m arena."""
+        model = PathLossModel()
+        receiver = ReceiverModel()
+        assert receiver.can_decode(model.mean_rssi(100.0))
+        assert not receiver.can_decode(model.mean_rssi(160.0))

@@ -1,0 +1,174 @@
+"""Unit tests for PeriodicTimer, RandomStreams and TraceLog."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.sim.timers import PeriodicTimer
+from repro.sim.trace import TraceLog
+
+
+class TestPeriodicTimer:
+    def test_fires_at_period_multiples(self):
+        sim = Simulator()
+        times = []
+        PeriodicTimer(sim, 2.0, lambda c: times.append(sim.now))
+        sim.run(until=7.0)
+        assert times == [0.0, 2.0, 4.0, 6.0]
+
+    def test_start_delay_offsets_first_fire(self):
+        sim = Simulator()
+        times = []
+        PeriodicTimer(
+            sim, 2.0, lambda c: times.append(sim.now), start_delay=1.0
+        )
+        sim.run(until=6.0)
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_callback_receives_fire_count(self):
+        sim = Simulator()
+        counts = []
+        PeriodicTimer(sim, 1.0, counts.append, max_fires=3)
+        sim.run()
+        assert counts == [0, 1, 2]
+
+    def test_max_fires_stops_timer(self):
+        sim = Simulator()
+        timer = PeriodicTimer(sim, 1.0, lambda c: None, max_fires=2)
+        sim.run()
+        assert timer.fires == 2
+        assert not timer.running
+
+    def test_stop_prevents_further_fires(self):
+        sim = Simulator()
+        fired = []
+
+        def callback(count):
+            fired.append(count)
+            if count == 1:
+                timer.stop()
+
+        timer = PeriodicTimer(sim, 1.0, callback)
+        sim.run(until=10.0)
+        assert fired == [0, 1]
+        assert not timer.running
+
+    def test_stop_is_idempotent(self):
+        sim = Simulator()
+        timer = PeriodicTimer(sim, 1.0, lambda c: None)
+        timer.stop()
+        timer.stop()
+        assert not timer.running
+
+    def test_reschedule_changes_future_period(self):
+        sim = Simulator()
+        times = []
+
+        def callback(count):
+            times.append(sim.now)
+            if count == 0:
+                timer.reschedule(3.0)
+
+        timer = PeriodicTimer(sim, 1.0, callback)
+        sim.run(until=8.0)
+        # Fires at 0, then the new period applies from the next firing.
+        assert times == [0.0, 1.0, 4.0, 7.0]
+
+    def test_invalid_period_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PeriodicTimer(sim, 0.0, lambda c: None)
+
+    def test_invalid_start_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PeriodicTimer(sim, 1.0, lambda c: None, start_delay=-1.0)
+
+    def test_invalid_max_fires_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PeriodicTimer(sim, 1.0, lambda c: None, max_fires=0)
+
+
+class TestRandomStreams:
+    def test_same_name_returns_same_generator(self):
+        streams = RandomStreams(1)
+        assert streams.get("a") is streams.get("a")
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(1)
+        a = streams.get("a").random(5)
+        b = streams.get("b").random(5)
+        assert list(a) != list(b)
+
+    def test_reproducible_across_instances(self):
+        x = RandomStreams(7).get("mobility").random(4)
+        y = RandomStreams(7).get("mobility").random(4)
+        assert list(x) == list(y)
+
+    def test_different_master_seeds_differ(self):
+        x = RandomStreams(7).get("mobility").random(4)
+        y = RandomStreams(8).get("mobility").random(4)
+        assert list(x) != list(y)
+
+    def test_creation_order_does_not_matter(self):
+        s1 = RandomStreams(3)
+        s1.get("first")
+        a1 = s1.get("second").random(3)
+        s2 = RandomStreams(3)
+        a2 = s2.get("second").random(3)
+        assert list(a1) == list(a2)
+
+    def test_spawn_indexes_streams(self):
+        streams = RandomStreams(1)
+        assert streams.spawn("odo", 1) is not streams.spawn("odo", 2)
+        assert streams.spawn("odo", 1) is streams.spawn("odo", 1)
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RandomStreams("seed")
+
+
+class TestTraceLog:
+    def test_disabled_category_not_recorded(self):
+        log = TraceLog()
+        log.emit(1.0, "x", 1, foo="bar")
+        assert len(log) == 0
+
+    def test_enabled_category_recorded(self):
+        log = TraceLog(["x"])
+        log.emit(1.0, "x", 1, foo="bar")
+        assert log.count("x") == 1
+        record = log.records("x")[0]
+        assert record.time == 1.0
+        assert record.node == 1
+        assert record.details == {"foo": "bar"}
+
+    def test_enable_disable(self):
+        log = TraceLog()
+        log.enable("y")
+        assert log.enabled("y")
+        log.emit(0.0, "y")
+        log.disable("y")
+        log.emit(1.0, "y")
+        assert log.count("y") == 1
+
+    def test_records_filtering(self):
+        log = TraceLog(["a", "b"])
+        log.emit(0.0, "a")
+        log.emit(1.0, "b")
+        assert len(log.records()) == 2
+        assert len(log.records("a")) == 1
+
+    def test_clear_keeps_categories(self):
+        log = TraceLog(["a"])
+        log.emit(0.0, "a")
+        log.clear()
+        assert len(log) == 0
+        assert log.enabled("a")
+
+    def test_iteration(self):
+        log = TraceLog(["a"])
+        log.emit(0.0, "a")
+        log.emit(1.0, "a")
+        assert [r.time for r in log] == [0.0, 1.0]

@@ -1,0 +1,81 @@
+"""Unit tests for repro.util.units and repro.util.validation."""
+
+import math
+
+import pytest
+
+from repro.util.units import (
+    DBM_MIN,
+    db_to_ratio,
+    dbm_to_mw,
+    joules,
+    mw_to_dbm,
+    ratio_to_db,
+)
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+)
+
+
+class TestPowerConversions:
+    def test_zero_dbm_is_one_mw(self):
+        assert dbm_to_mw(0.0) == pytest.approx(1.0)
+
+    def test_thirty_dbm_is_one_watt(self):
+        assert dbm_to_mw(30.0) == pytest.approx(1000.0)
+
+    def test_negative_dbm(self):
+        assert dbm_to_mw(-30.0) == pytest.approx(1e-3)
+
+    def test_roundtrip(self):
+        for dbm in (-95.0, -52.0, 0.0, 15.0):
+            assert mw_to_dbm(dbm_to_mw(dbm)) == pytest.approx(dbm)
+
+    def test_mw_to_dbm_of_zero_is_floor(self):
+        assert mw_to_dbm(0.0) == DBM_MIN
+        assert mw_to_dbm(-1.0) == DBM_MIN
+
+    def test_db_ratio_roundtrip(self):
+        assert db_to_ratio(3.0) == pytest.approx(10 ** 0.3)
+        assert ratio_to_db(db_to_ratio(7.5)) == pytest.approx(7.5)
+
+    def test_ratio_to_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ratio_to_db(0.0)
+
+    def test_joules(self):
+        # 900 mW for 1800 s = 1620 J: the paper's idle baseline per node.
+        assert joules(900.0, 1800.0) == pytest.approx(1620.0)
+
+    def test_joules_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            joules(100.0, -1.0)
+
+
+class TestValidation:
+    def test_check_positive_accepts_and_returns(self):
+        assert check_positive("x", 3) == 3
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", 0)
+
+    def test_check_non_negative(self):
+        assert check_non_negative("x", 0) == 0
+        with pytest.raises(ValueError):
+            check_non_negative("x", -0.1)
+
+    def test_check_finite(self):
+        assert check_finite("x", 1.5) == 1.5
+        with pytest.raises(ValueError):
+            check_finite("x", math.inf)
+        with pytest.raises(ValueError):
+            check_finite("x", math.nan)
+
+    def test_check_in_range(self):
+        assert check_in_range("x", 5, 0, 10) == 5
+        with pytest.raises(ValueError):
+            check_in_range("x", 11, 0, 10)
