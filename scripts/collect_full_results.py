@@ -1,17 +1,49 @@
-"""Collect full-scale (paper-fidelity) results for EXPERIMENTS.md."""
-import json, time
-import numpy as np
+"""Collect full-scale (paper-fidelity) results for EXPERIMENTS.md.
+
+Runs every figure's scenarios through the sweep orchestrator: pass
+``--jobs N`` to fan the independent runs of each figure out over worker
+processes, and rely on the content-addressed result cache (on by
+default, under ``.repro_cache/``) to make interrupted or repeated
+collections resume without re-simulating finished scenarios.
+"""
+import argparse
+import json
+import os
+import time
+
 from repro.experiments.figures import (
     run_fig1, run_fig4, run_fig5, run_fig6, run_fig7, run_fig8, run_fig9,
     run_fig10, run_mrmm_ablation)
 from repro.experiments.runner import SharedCalibration
+from repro.orchestrator.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.orchestrator.progress import ProgressPrinter
+
+parser = argparse.ArgumentParser(description=__doc__)
+parser.add_argument("--jobs", type=int, default=1,
+                    help="worker processes per figure sweep")
+parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                    help="result cache directory")
+parser.add_argument("--no-cache", action="store_true",
+                    help="always re-simulate, never read or write the cache")
+parser.add_argument("--output",
+                    default=os.path.join(
+                        os.path.dirname(os.path.dirname(
+                            os.path.abspath(__file__))),
+                        "results", "full_results.json"),
+                    help="output JSON path")
+args = parser.parse_args()
 
 out = {}
 cal = SharedCalibration()
+cache = None if args.no_cache else ResultCache(root=args.cache_dir)
+progress = ProgressPrinter()
+sweep_kw = dict(jobs=args.jobs, cache=cache, progress=progress)
 t0 = time.time()
+
 
 def log(msg):
     print('[%6.0fs] %s' % (time.time() - t0, msg), flush=True)
+
 
 r = run_fig1()
 out['fig1'] = {str(k): {kk: (float(vv) if isinstance(vv, (int, float)) else str(vv))
@@ -19,7 +51,7 @@ out['fig1'] = {str(k): {kk: (float(vv) if isinstance(vv, (int, float)) else str(
                for k, v in r['bins'].items()}
 log('fig1 done')
 
-r = run_fig4()
+r = run_fig4(**sweep_kw)
 out['fig4'] = {str(v): {'avg': d['summary'].time_average_m, 'final': d['summary'].final_m,
                'max': d['summary'].max_m} for v, d in r.items()}
 log('fig4 done')
@@ -28,12 +60,12 @@ r = run_fig5()
 out['fig5'] = {'final_error_m': float(r['final_error_m']), 'path_length_m': float(r['path_length_m'])}
 log('fig5 done')
 
-r = run_fig6(calibration=cal)
+r = run_fig6(calibration=cal, **sweep_kw)
 out['fig6'] = {str(T): {'avg': d['summary'].time_average_m, 'max': d['summary'].max_m}
                for T, d in r.items()}
 log('fig6 done')
 
-r = run_fig7(calibration=cal)
+r = run_fig7(calibration=cal, **sweep_kw)
 out['fig7'] = {str(v): {m: {'avg': d['summary'].time_average_m, 'final': d['summary'].final_m}
                for m, d in modes.items()} for v, modes in r.items()}
 log('fig7 done')
@@ -43,23 +75,28 @@ out['fig8'] = {name: {'time_s': float(d['time_s']), 'median': d['median_m'], 'p9
                'frac_lt_10m': float((d['errors'] < 10.0).mean())} for name, d in r.items()}
 log('fig8 done')
 
-r = run_fig9(calibration=cal)
+r = run_fig9(calibration=cal, **sweep_kw)
 out['fig9'] = {str(T): {'avg_err': d['summary'].time_average_m,
                'E_coord': d['energy_coordinated_j'], 'E_nocoord': d['energy_uncoordinated_j'],
                'ratio': d['energy_ratio']} for T, d in r.items()}
 log('fig9 done')
 
-r = run_fig10(calibration=cal)
+r = run_fig10(calibration=cal, **sweep_kw)
 out['fig10'] = {str(c): {'avg': d['summary'].time_average_m, 'max': d['summary'].max_m,
                 'no_fix': d['windows_without_fix']} for c, d in r.items()}
 log('fig10 done')
 
-r = run_mrmm_ablation(duration_s=1800.0, calibration=cal)
+r = run_mrmm_ablation(duration_s=1800.0, calibration=cal, **sweep_kw)
 out['mrmm'] = {p: {'ctrl': d['control_packets'], 'data_fwd': d['data_forwarded'],
                'suppressed': d['forwards_suppressed'], 'syncs': d['syncs_received'],
                'err': d['error_summary'].time_average_m} for p, d in r.items()}
 log('mrmm done')
 
-with open('/root/repo/results/full_results.json', 'w') as f:
+if cache is not None:
+    log('cache: %d hits, %d misses, %d stored under %s'
+        % (cache.stats.hits, cache.stats.misses, cache.stats.stores,
+           cache.root))
+os.makedirs(os.path.dirname(args.output), exist_ok=True)
+with open(args.output, 'w') as f:
     json.dump(out, f, indent=2)
-log('ALL DONE')
+log('ALL DONE -> %s' % args.output)

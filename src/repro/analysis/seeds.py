@@ -9,16 +9,19 @@ campaign) while the scenario parameters stay fixed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.stats import ConfidenceInterval, mean_confidence_interval
 from repro.core.config import CoCoAConfig
-from repro.core.team import TeamResult
 from repro.experiments.metrics import summarize_errors
-from repro.experiments.runner import SharedCalibration, run_scenario
+from repro.experiments.runner import SharedCalibration
+from repro.orchestrator.cache import ResultCache
+from repro.orchestrator.executor import run_sweep
+from repro.orchestrator.jobs import seed_jobs
+from repro.orchestrator.progress import ProgressListener
 
 
 @dataclass(frozen=True)
@@ -63,15 +66,26 @@ def run_seed_sweep(
     seeds: Sequence[int] = (1, 2, 3, 4, 5),
     skip_first_s: Optional[float] = None,
     calibration: Optional[SharedCalibration] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressListener] = None,
 ) -> SeedSweepResult:
     """Run ``config`` under each seed and aggregate the metrics.
+
+    The per-seed runs are independent, so they fan out through
+    :func:`~repro.orchestrator.executor.run_sweep`: ``jobs > 1`` executes
+    them on a process pool (bit-identical to serial execution) and
+    ``cache`` memoizes finished runs on disk.
 
     Args:
         config: the scenario; its own ``master_seed`` is ignored.
         seeds: master seeds to sweep (at least two).
         skip_first_s: warm-up to exclude from error averaging; defaults
             to just past the first beacon period.
-        calibration: optional shared calibration cache.
+        calibration: optional shared calibration cache (serial path).
+        jobs: worker processes (1 = in-process serial execution).
+        cache: optional content-addressed result cache.
+        progress: optional per-job progress listener.
 
     Raises:
         ValueError: with fewer than two seeds.
@@ -83,12 +97,16 @@ def run_seed_sweep(
             1.1 * config.beacon_period_s + 5.0, config.duration_s / 2
         )
     cal = calibration if calibration is not None else SharedCalibration()
+    outcome = run_sweep(
+        seed_jobs(config, seeds),
+        n_jobs=jobs,
+        cache=cache,
+        progress=progress,
+        calibration=cal,
+    )
     errors: List[float] = []
     energies: List[float] = []
-    for seed in seeds:
-        result: TeamResult = run_scenario(
-            replace(config, master_seed=seed), calibration=cal
-        )
+    for result in outcome.results:
         summary = summarize_errors(result.errors, skip_first_s=skip_first_s)
         errors.append(summary.time_average_m)
         energies.append(result.total_energy_j())

@@ -4,11 +4,15 @@ Usage (installed package):
 
     python -m repro run --robots 50 --anchors 25 --period 100 --duration 600
     python -m repro run --mode rf_only --period 50
-    python -m repro figure fig9 --duration 600
+    python -m repro figure fig9 --duration 600 --jobs 4 --cache
+    python -m repro sweep --num-seeds 8 --jobs 4 --duration 600
     python -m repro calibrate
 
 Every command prints plain-text tables; nothing is plotted, so the tool
-works in any terminal and its output can be diffed in CI.
+works in any terminal and its output can be diffed in CI.  ``sweep`` and
+``figure`` accept ``--jobs N`` to fan independent scenario runs out over
+worker processes and ``--cache`` to memoize finished runs on disk under
+``.repro_cache/`` (wipe with ``--clear-cache``).
 """
 
 from __future__ import annotations
@@ -26,6 +30,56 @@ from repro.core.config import (
 from repro.core.team import CoCoATeam
 from repro.experiments.metrics import summarize_errors
 from repro.experiments.runner import SharedCalibration
+from repro.orchestrator.cache import DEFAULT_CACHE_DIR, ResultCache
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    """Scenario flags shared by ``run`` and ``sweep``."""
+    parser.add_argument("--mode", choices=[m.value for m in LocalizationMode],
+                        default="cocoa", help="localization strategy")
+    parser.add_argument("--robots", type=int, default=50, help="team size")
+    parser.add_argument("--anchors", type=int, default=25,
+                        help="robots with localization devices")
+    parser.add_argument("--period", type=float, default=100.0,
+                        help="beacon period T (s)")
+    parser.add_argument("--window", type=float, default=3.0,
+                        help="transmit window t (s)")
+    parser.add_argument("--beacons", type=int, default=3,
+                        help="beacons per window k")
+    parser.add_argument("--vmax", type=float, default=2.0,
+                        help="maximum robot speed (m/s)")
+    parser.add_argument("--duration", type=float, default=1800.0,
+                        help="simulated seconds")
+    parser.add_argument("--no-coordination", action="store_true",
+                        help="keep radios idle instead of sleeping")
+    parser.add_argument("--multicast",
+                        choices=[m.value for m in MulticastProtocol],
+                        default="mrmm", help="SYNC multicast protocol")
+    parser.add_argument("--filter",
+                        choices=[f.value for f in LocalizationFilter],
+                        default="grid", help="Bayesian representation")
+    parser.add_argument("--area", type=float, default=200.0,
+                        help="square deployment area side (m)")
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for flags that require an integer >= 1."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _add_orchestration_args(parser: argparse.ArgumentParser) -> None:
+    """Parallelism and cache flags shared by ``figure`` and ``sweep``."""
+    parser.add_argument("--jobs", type=_positive_int, default=1,
+                        help="worker processes for independent runs")
+    parser.add_argument("--cache", action="store_true",
+                        help="memoize finished runs on disk")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="result cache directory (implies --cache)")
+    parser.add_argument("--clear-cache", action="store_true",
+                        help="wipe the result cache before running")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,32 +94,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run one scenario and print a summary")
-    run.add_argument("--mode", choices=[m.value for m in LocalizationMode],
-                     default="cocoa", help="localization strategy")
-    run.add_argument("--robots", type=int, default=50, help="team size")
-    run.add_argument("--anchors", type=int, default=25,
-                     help="robots with localization devices")
-    run.add_argument("--period", type=float, default=100.0,
-                     help="beacon period T (s)")
-    run.add_argument("--window", type=float, default=3.0,
-                     help="transmit window t (s)")
-    run.add_argument("--beacons", type=int, default=3,
-                     help="beacons per window k")
-    run.add_argument("--vmax", type=float, default=2.0,
-                     help="maximum robot speed (m/s)")
-    run.add_argument("--duration", type=float, default=1800.0,
-                     help="simulated seconds")
+    _add_scenario_args(run)
     run.add_argument("--seed", type=int, default=1, help="master seed")
-    run.add_argument("--no-coordination", action="store_true",
-                     help="keep radios idle instead of sleeping")
-    run.add_argument("--multicast",
-                     choices=[m.value for m in MulticastProtocol],
-                     default="mrmm", help="SYNC multicast protocol")
-    run.add_argument("--filter",
-                     choices=[f.value for f in LocalizationFilter],
-                     default="grid", help="Bayesian representation")
-    run.add_argument("--area", type=float, default=200.0,
-                     help="square deployment area side (m)")
 
     figure = sub.add_parser(
         "figure", help="regenerate one of the paper's evaluation figures"
@@ -81,6 +111,19 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--duration", type=float, default=600.0,
                         help="simulated seconds per run")
     figure.add_argument("--seed", type=int, default=1, help="master seed")
+    _add_orchestration_args(figure)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="re-run one scenario under many master seeds, in parallel",
+    )
+    _add_scenario_args(sweep)
+    seeds = sweep.add_mutually_exclusive_group()
+    seeds.add_argument("--seeds", default=None,
+                       help="comma-separated master seeds (e.g. 1,2,3)")
+    seeds.add_argument("--num-seeds", type=int, default=None,
+                       help="sweep seeds 1..N")
+    _add_orchestration_args(sweep)
 
     calibrate = sub.add_parser(
         "calibrate", help="run the offline calibration and print the table"
@@ -110,12 +153,27 @@ def _config_from_args(args: argparse.Namespace) -> CoCoAConfig:
         beacons_per_window=args.beacons,
         v_max=args.vmax,
         duration_s=args.duration,
-        master_seed=args.seed,
+        master_seed=getattr(args, "seed", 1),
         localization_mode=mode,
         coordination=coordination,
         multicast=MulticastProtocol(args.multicast),
         localization_filter=LocalizationFilter(args.filter),
     )
+
+
+def _cache_from_args(args: argparse.Namespace) -> Optional[ResultCache]:
+    """Build (and optionally wipe) the result cache the flags describe."""
+    wants_cache = (
+        args.cache
+        or args.clear_cache
+        or args.cache_dir != DEFAULT_CACHE_DIR
+    )
+    if not wants_cache:
+        return None
+    cache = ResultCache(root=args.cache_dir)
+    if args.clear_cache:
+        cache.clear()
+    return cache
 
 
 def cmd_run(args: argparse.Namespace, out) -> int:
@@ -156,6 +214,8 @@ def cmd_figure(args: argparse.Namespace, out) -> int:
     from repro.experiments import figures
 
     cal = SharedCalibration()
+    cache = _cache_from_args(args)
+    sweep_kw = dict(jobs=args.jobs, cache=cache)
     name = args.name
     duration = args.duration
     seed = args.seed
@@ -167,7 +227,9 @@ def cmd_figure(args: argparse.Namespace, out) -> int:
                      data["mean_m"], data["std_m"],
                      data["sample_skewness"]), file=out)
     elif name == "fig4":
-        result = figures.run_fig4(duration_s=duration, master_seed=seed)
+        result = figures.run_fig4(
+            duration_s=duration, master_seed=seed, **sweep_kw
+        )
         for v_max, data in result.items():
             print("v_max=%.1f: avg %.1f m, final %.1f m"
                   % (v_max, data["summary"].time_average_m,
@@ -178,14 +240,14 @@ def cmd_figure(args: argparse.Namespace, out) -> int:
               % (result["path_length_m"], result["final_error_m"]), file=out)
     elif name == "fig6":
         result = figures.run_fig6(
-            duration_s=duration, master_seed=seed, calibration=cal
+            duration_s=duration, master_seed=seed, calibration=cal, **sweep_kw
         )
         for period, data in sorted(result.items()):
             print("T=%-4.0f avg %.2f m" % (period,
                   data["summary"].time_average_m), file=out)
     elif name == "fig7":
         result = figures.run_fig7(
-            duration_s=duration, master_seed=seed, calibration=cal
+            duration_s=duration, master_seed=seed, calibration=cal, **sweep_kw
         )
         for v_max, modes in result.items():
             row = "  ".join("%s %.1f m" % (m, d["summary"].time_average_m)
@@ -201,7 +263,7 @@ def cmd_figure(args: argparse.Namespace, out) -> int:
                      data["p90_m"]), file=out)
     elif name == "fig9":
         result = figures.run_fig9(
-            duration_s=duration, master_seed=seed, calibration=cal
+            duration_s=duration, master_seed=seed, calibration=cal, **sweep_kw
         )
         for period, data in sorted(result.items()):
             print("T=%-4.0f avg %.2f m  E %.0f J vs %.0f J (%.1fx)"
@@ -211,7 +273,7 @@ def cmd_figure(args: argparse.Namespace, out) -> int:
                      data["energy_ratio"]), file=out)
     elif name == "fig10":
         result = figures.run_fig10(
-            duration_s=duration, master_seed=seed, calibration=cal
+            duration_s=duration, master_seed=seed, calibration=cal, **sweep_kw
         )
         for count, data in sorted(result.items()):
             print("anchors=%-3d avg %.2f m (no-fix windows %d)"
@@ -219,13 +281,73 @@ def cmd_figure(args: argparse.Namespace, out) -> int:
                      data["windows_without_fix"]), file=out)
     elif name == "mrmm":
         result = figures.run_mrmm_ablation(
-            duration_s=duration, master_seed=seed, calibration=cal
+            duration_s=duration, master_seed=seed, calibration=cal,
+            **sweep_kw
         )
         for protocol, data in result.items():
             print("%-6s ctrl %d  data_fwd %d  syncs %d  err %.2f m"
                   % (protocol, data["control_packets"],
                      data["data_forwarded"], data["syncs_received"],
                      data["error_summary"].time_average_m), file=out)
+    _print_cache_summary(cache, out)
+    return 0
+
+
+def _print_cache_summary(cache: Optional[ResultCache], out) -> None:
+    if cache is None:
+        return
+    stats = cache.stats
+    print("cache: %d hit%s, %d miss%s, %d stored (%s)"
+          % (stats.hits, "" if stats.hits == 1 else "s",
+             stats.misses, "" if stats.misses == 1 else "es",
+             stats.stores, cache.root), file=out)
+
+
+def cmd_sweep(args: argparse.Namespace, out) -> int:
+    from repro.analysis.seeds import run_seed_sweep
+    from repro.orchestrator.progress import ProgressPrinter
+
+    if args.seeds is not None:
+        try:
+            seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+        except ValueError:
+            print("invalid --seeds list %r" % args.seeds, file=out)
+            return 2
+    elif args.num_seeds is not None:
+        seeds = list(range(1, args.num_seeds + 1))
+    else:
+        seeds = [1, 2, 3, 4, 5]
+    if len(seeds) < 2:
+        print("need at least 2 seeds, got %d" % len(seeds), file=out)
+        return 2
+
+    config = _config_from_args(args)
+    cache = _cache_from_args(args)
+    print("sweep: %d robots (%d anchors), %s, T=%.0fs, %.0fs, "
+          "%d seeds, %d worker%s"
+          % (config.n_robots, config.n_anchors,
+             config.localization_mode.value, config.beacon_period_s,
+             config.duration_s, len(seeds), args.jobs,
+             "" if args.jobs == 1 else "s"), file=out)
+    result = run_seed_sweep(
+        config,
+        seeds=seeds,
+        jobs=args.jobs,
+        cache=cache,
+        progress=ProgressPrinter(out=out),
+    )
+    print("", file=out)
+    print("%-8s %-14s %-14s" % ("seed", "avg error (m)", "energy (J)"),
+          file=out)
+    for seed, error, energy in zip(
+        result.seeds, result.error_time_averages_m, result.energy_totals_j
+    ):
+        print("%-8d %-14.2f %-14.1f" % (seed, error, energy), file=out)
+    print("", file=out)
+    print("error  %s   spread %.1f%%"
+          % (result.error_ci, 100.0 * result.relative_spread), file=out)
+    print("energy %s" % result.energy_ci, file=out)
+    _print_cache_summary(cache, out)
     return 0
 
 
@@ -264,6 +386,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return cmd_run(args, out)
     if args.command == "figure":
         return cmd_figure(args, out)
+    if args.command == "sweep":
+        return cmd_sweep(args, out)
     if args.command == "calibrate":
         return cmd_calibrate(args, out)
     parser.error("unknown command %r" % args.command)

@@ -4,6 +4,14 @@ Each ``run_fig*`` function reproduces the data behind one figure and
 returns plain Python/numpy structures.  The benchmarks print them; tests
 assert their shapes (who wins, where the knees fall).
 
+The multi-point runners (Figures 4, 6, 7, 9, 10 and the MRMM ablation)
+declare their scenario runs as :class:`~repro.orchestrator.jobs.SweepJob`
+lists and execute them through
+:func:`~repro.orchestrator.executor.run_sweep`: pass ``jobs=N`` to fan
+the points out over worker processes and ``cache=`` a
+:class:`~repro.orchestrator.cache.ResultCache` to make warm reruns skip
+simulation entirely.
+
 Figures 2 and 3 are architecture diagrams (the CoCoA time-line and the
 MRMM sync mesh) and have no data to regenerate; the system behaviour they
 describe is exercised by the coordination and multicast test suites.
@@ -11,9 +19,7 @@ describe is exercised by the coordination and multicast test suites.
 
 from __future__ import annotations
 
-import math
-from dataclasses import replace
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -29,11 +35,15 @@ from repro.experiments.presets import (
     fig10_config,
     headline_config,
 )
-from repro.experiments.runner import SharedCalibration, run_scenario
+from repro.experiments.runner import SharedCalibration
 from repro.mobility.base import ScriptedMobility
 from repro.mobility.dead_reckoning import DeadReckoning
 from repro.mobility.odometry import OdometryNoise, OdometrySensor
 from repro.net.phy import PathLossModel, ReceiverModel
+from repro.orchestrator.cache import ResultCache
+from repro.orchestrator.executor import run_sweep
+from repro.orchestrator.jobs import SweepJob
+from repro.orchestrator.progress import ProgressListener
 from repro.sim.rng import RandomStreams
 from repro.util.geometry import Vec2
 
@@ -96,14 +106,25 @@ def run_fig4(
     v_maxes: Sequence[float] = (0.5, 2.0),
     duration_s: float = 1800.0,
     master_seed: int = 1,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressListener] = None,
 ) -> Dict[float, Dict]:
     """Figure 4: localization error over time using only odometry."""
-    out: Dict[float, Dict] = {}
-    for v_max in v_maxes:
-        result = run_scenario(
-            fig4_config(v_max, duration_s=duration_s, master_seed=master_seed)
+    sweep = [
+        SweepJob(
+            config=fig4_config(
+                v_max, duration_s=duration_s, master_seed=master_seed
+            ),
+            name="fig4 v_max=%g" % v_max,
+            key=v_max,
         )
-        out[v_max] = {
+        for v_max in v_maxes
+    ]
+    outcome = run_sweep(sweep, n_jobs=jobs, cache=cache, progress=progress)
+    out: Dict[float, Dict] = {}
+    for job, result in zip(sweep, outcome.results):
+        out[job.key] = {
             "times": result.times,
             "mean_error": result.mean_error_series(),
             "summary": summarize_errors(result.errors),
@@ -167,17 +188,28 @@ def run_fig6(
     duration_s: float = 1800.0,
     master_seed: int = 1,
     calibration: Optional[SharedCalibration] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressListener] = None,
 ) -> Dict[float, Dict]:
     """Figure 6: RF-only localization error over time for several ``T``."""
     cal = calibration if calibration is not None else SharedCalibration()
-    out: Dict[float, Dict] = {}
-    for period in beacon_periods_s:
-        result = run_scenario(
-            fig6_config(
+    sweep = [
+        SweepJob(
+            config=fig6_config(
                 period, duration_s=duration_s, master_seed=master_seed
             ),
-            calibration=cal,
+            name="fig6 T=%g" % period,
+            key=period,
         )
+        for period in beacon_periods_s
+    ]
+    outcome = run_sweep(
+        sweep, n_jobs=jobs, cache=cache, progress=progress, calibration=cal
+    )
+    out: Dict[float, Dict] = {}
+    for job, result in zip(sweep, outcome.results):
+        period = job.key
         out[period] = {
             "times": result.times,
             "mean_error": result.mean_error_series(),
@@ -194,32 +226,39 @@ def run_fig7(
     duration_s: float = 1800.0,
     master_seed: int = 1,
     calibration: Optional[SharedCalibration] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressListener] = None,
 ) -> Dict[float, Dict[str, Dict]]:
     """Figure 7: odometry vs RF-only vs CoCoA at T = 100 s."""
     cal = calibration if calibration is not None else SharedCalibration()
-    out: Dict[float, Dict[str, Dict]] = {}
-    for v_max in v_maxes:
-        per_mode: Dict[str, Dict] = {}
-        for mode in (
-            LocalizationMode.ODOMETRY_ONLY,
-            LocalizationMode.RF_ONLY,
-            LocalizationMode.COCOA,
-        ):
-            result = run_scenario(
-                fig7_config(
-                    mode,
-                    v_max,
-                    duration_s=duration_s,
-                    master_seed=master_seed,
-                ),
-                calibration=cal,
-            )
-            per_mode[mode.value] = {
-                "times": result.times,
-                "mean_error": result.mean_error_series(),
-                "summary": summarize_errors(result.errors),
-            }
-        out[v_max] = per_mode
+    modes = (
+        LocalizationMode.ODOMETRY_ONLY,
+        LocalizationMode.RF_ONLY,
+        LocalizationMode.COCOA,
+    )
+    sweep = [
+        SweepJob(
+            config=fig7_config(
+                mode, v_max, duration_s=duration_s, master_seed=master_seed
+            ),
+            name="fig7 v_max=%g %s" % (v_max, mode.value),
+            key=(v_max, mode.value),
+        )
+        for v_max in v_maxes
+        for mode in modes
+    ]
+    outcome = run_sweep(
+        sweep, n_jobs=jobs, cache=cache, progress=progress, calibration=cal
+    )
+    out: Dict[float, Dict[str, Dict]] = {v_max: {} for v_max in v_maxes}
+    for job, result in zip(sweep, outcome.results):
+        v_max, mode_value = job.key
+        out[v_max][mode_value] = {
+            "times": result.times,
+            "mean_error": result.mean_error_series(),
+            "summary": summarize_errors(result.errors),
+        }
     return out
 
 
@@ -272,30 +311,36 @@ def run_fig9(
     duration_s: float = 1800.0,
     master_seed: int = 1,
     calibration: Optional[SharedCalibration] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressListener] = None,
 ) -> Dict[float, Dict]:
     """Figure 9: impact of ``T`` on error (a) and on energy with/without
     coordination (b)."""
     cal = calibration if calibration is not None else SharedCalibration()
+    sweep = [
+        SweepJob(
+            config=fig9_config(
+                period,
+                coordination=coordination,
+                duration_s=duration_s,
+                master_seed=master_seed,
+            ),
+            name="fig9 T=%g %s"
+            % (period, "coord" if coordination else "no-coord"),
+            key=(period, coordination),
+        )
+        for period in beacon_periods_s
+        for coordination in (True, False)
+    ]
+    outcome = run_sweep(
+        sweep, n_jobs=jobs, cache=cache, progress=progress, calibration=cal
+    )
+    by_key = outcome.by_key()
     out: Dict[float, Dict] = {}
     for period in beacon_periods_s:
-        coord = run_scenario(
-            fig9_config(
-                period,
-                coordination=True,
-                duration_s=duration_s,
-                master_seed=master_seed,
-            ),
-            calibration=cal,
-        )
-        no_coord = run_scenario(
-            fig9_config(
-                period,
-                coordination=False,
-                duration_s=duration_s,
-                master_seed=master_seed,
-            ),
-            calibration=cal,
-        )
+        coord = by_key[(period, True)]
+        no_coord = by_key[(period, False)]
         out[period] = {
             "times": coord.times,
             "mean_error": coord.mean_error_series(),
@@ -316,18 +361,29 @@ def run_fig10(
     duration_s: float = 1800.0,
     master_seed: int = 1,
     calibration: Optional[SharedCalibration] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressListener] = None,
 ) -> Dict[int, Dict]:
     """Figure 10: impact of the number of robots with localization
     devices."""
     cal = calibration if calibration is not None else SharedCalibration()
-    out: Dict[int, Dict] = {}
-    for count in anchor_counts:
-        result = run_scenario(
-            fig10_config(
+    sweep = [
+        SweepJob(
+            config=fig10_config(
                 count, duration_s=duration_s, master_seed=master_seed
             ),
-            calibration=cal,
+            name="fig10 anchors=%d" % count,
+            key=count,
         )
+        for count in anchor_counts
+    ]
+    outcome = run_sweep(
+        sweep, n_jobs=jobs, cache=cache, progress=progress, calibration=cal
+    )
+    out: Dict[int, Dict] = {}
+    for job, result in zip(sweep, outcome.results):
+        count = job.key
         summary = summarize_errors(
             result.errors,
             skip_first_s=min(
@@ -347,6 +403,9 @@ def run_mrmm_ablation(
     duration_s: float = 900.0,
     master_seed: int = 1,
     calibration: Optional[SharedCalibration] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressListener] = None,
 ) -> Dict[str, Dict]:
     """§2.3 claim: MRMM's pruning versus plain ODMRP.
 
@@ -354,17 +413,26 @@ def run_mrmm_ablation(
     reports control overhead, data transmissions and SYNC delivery.
     """
     cal = calibration if calibration is not None else SharedCalibration()
-    out: Dict[str, Dict] = {}
-    for protocol in (MulticastProtocol.ODMRP, MulticastProtocol.MRMM):
-        config = headline_config(
-            duration_s=duration_s,
-            master_seed=master_seed,
-            multicast=protocol,
+    sweep = [
+        SweepJob(
+            config=headline_config(
+                duration_s=duration_s,
+                master_seed=master_seed,
+                multicast=protocol,
+            ),
+            name="mrmm-ablation %s" % protocol.value,
+            key=protocol.value,
         )
-        result = run_scenario(config, calibration=cal)
+        for protocol in (MulticastProtocol.ODMRP, MulticastProtocol.MRMM)
+    ]
+    outcome = run_sweep(
+        sweep, n_jobs=jobs, cache=cache, progress=progress, calibration=cal
+    )
+    out: Dict[str, Dict] = {}
+    for job, result in zip(sweep, outcome.results):
         stats = result.multicast_stats
         control = stats.jq_originated + stats.jq_forwarded + stats.jr_sent
-        out[protocol.value] = {
+        out[job.key] = {
             "control_packets": control,
             "data_forwarded": stats.data_forwarded,
             "data_delivered": stats.data_delivered,

@@ -8,7 +8,9 @@ calibrates once) and to keep sweeps fast.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import threading
+from collections import OrderedDict
+from typing import Optional, Tuple
 
 from repro.core.calibration import build_pdf_table
 from repro.core.config import CoCoAConfig, LocalizationMode
@@ -18,10 +20,30 @@ from repro.sim.rng import RandomStreams
 
 
 class SharedCalibration:
-    """Caches PDF Tables keyed by (channel, receiver, seed, samples)."""
+    """Caches PDF Tables keyed by (channel, receiver, seed, samples).
 
-    def __init__(self) -> None:
-        self._tables: Dict[Tuple, PdfTable] = {}
+    The cache is a small LRU — long multi-seed sweeps touch one table per
+    master seed, and an unbounded dict would grow with the sweep — and is
+    lock-protected so sweep drivers may share one instance across threads.
+
+    Args:
+        max_entries: tables kept before the least recently used is
+            evicted.
+    """
+
+    def __init__(self, max_entries: int = 8) -> None:
+        if max_entries < 1:
+            raise ValueError(
+                "max_entries must be >= 1, got %d" % max_entries
+            )
+        self.max_entries = max_entries
+        self._tables: "OrderedDict[Tuple, PdfTable]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tables)
 
     def table_for(self, config: CoCoAConfig) -> Optional[PdfTable]:
         """Return (building if needed) the table for a scenario's hardware.
@@ -39,8 +61,11 @@ class SharedCalibration:
             config.master_seed,
             config.calibration_samples,
         )
-        table = self._tables.get(key)
-        if table is None:
+        with self._lock:
+            table = self._tables.get(key)
+            if table is not None:
+                self._tables.move_to_end(key)
+                return table
             result = build_pdf_table(
                 config.path_loss,
                 RandomStreams(config.master_seed).get("calibration"),
@@ -49,10 +74,24 @@ class SharedCalibration:
             )
             table = result.table
             self._tables[key] = table
-        return table
+            while len(self._tables) > self.max_entries:
+                self._tables.popitem(last=False)
+                self.evictions += 1
+            return table
+
+    def clear(self) -> None:
+        """Drop every cached table (tests, worker-process resets)."""
+        with self._lock:
+            self._tables.clear()
 
 
 _default_calibration = SharedCalibration()
+
+
+def default_calibration() -> SharedCalibration:
+    """The process-wide calibration cache :func:`run_scenario` falls
+    back to; sweep worker processes clear it on startup."""
+    return _default_calibration
 
 
 def run_scenario(

@@ -1,0 +1,227 @@
+"""Sweep execution: serial and process-pool backends behind one entry point.
+
+:func:`run_sweep` takes a list of :class:`~repro.orchestrator.jobs.SweepJob`
+and returns their :class:`~repro.core.team.TeamResult` in *job order* —
+regardless of the order the backend completes them in — plus a
+:class:`~repro.orchestrator.progress.SweepReport` with timing and cache
+accounting.  Cache lookups happen in the parent before anything is
+submitted, so a fully warm sweep never touches a worker at all.
+
+Parallel correctness rests on two properties of the simulator:
+
+- every random stream derives from the job's own ``master_seed``, so a
+  scenario's result is a pure function of its config;
+- workers rebuild their calibration tables from scratch (the pool
+  initializer clears the per-process :class:`SharedCalibration`), so no
+  state flows between jobs except through the explicit config.
+
+Together these make parallel output bit-identical to serial output,
+which the regression suite enforces.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.team import TeamResult
+from repro.experiments.runner import (
+    SharedCalibration,
+    default_calibration,
+    run_scenario,
+)
+from repro.orchestrator.cache import ResultCache
+from repro.orchestrator.jobs import SweepJob
+from repro.orchestrator.progress import (
+    JobRecord,
+    ProgressListener,
+    SweepReport,
+)
+
+IndexedJob = Tuple[int, SweepJob]
+
+
+def _timed_run(job: SweepJob) -> Tuple[TeamResult, float]:
+    """Run one job and measure its wall time (top level: must pickle)."""
+    start = time.perf_counter()
+    result = run_scenario(job.config)
+    return result, time.perf_counter() - start
+
+
+def _worker_init() -> None:
+    """Process-pool initializer: start each worker with fresh calibration.
+
+    Under the ``fork`` start method workers inherit the parent's cached
+    PDF tables; clearing guarantees every worker rebuilds from its jobs'
+    seeds alone, keeping memory bounded and behaviour identical across
+    start methods.
+    """
+    default_calibration().clear()
+
+
+class SerialBackend:
+    """In-process execution, one job at a time, in job order.
+
+    Args:
+        calibration: optional shared calibration cache, reused across the
+            sweep's jobs exactly like the old hand-rolled loops did.
+    """
+
+    n_workers = 1
+
+    def __init__(self, calibration: Optional[SharedCalibration] = None) -> None:
+        self.calibration = calibration
+
+    def execute(
+        self, pending: Sequence[IndexedJob]
+    ) -> Iterator[Tuple[int, TeamResult, float]]:
+        for index, job in pending:
+            start = time.perf_counter()
+            result = run_scenario(job.config, calibration=self.calibration)
+            yield index, result, time.perf_counter() - start
+
+
+class ProcessPoolBackend:
+    """Fan jobs out over a ``ProcessPoolExecutor``.
+
+    Results are yielded as they complete (the caller restores job order);
+    each worker process rebuilds its own calibration tables.
+
+    Args:
+        n_workers: worker process count (>= 1).
+    """
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1, got %d" % n_workers)
+        self.n_workers = n_workers
+
+    def execute(
+        self, pending: Sequence[IndexedJob]
+    ) -> Iterator[Tuple[int, TeamResult, float]]:
+        if not pending:
+            return
+        with ProcessPoolExecutor(
+            max_workers=min(self.n_workers, len(pending)),
+            initializer=_worker_init,
+        ) as pool:
+            futures = {
+                pool.submit(_timed_run, job): index for index, job in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    result, wall_s = future.result()
+                    yield futures[future], result, wall_s
+
+
+@dataclass
+class SweepOutcome:
+    """Everything one sweep produced.
+
+    Attributes:
+        jobs: the submitted jobs, in submission order.
+        results: one :class:`TeamResult` per job, in the same order.
+        report: timing and cache accounting.
+    """
+
+    jobs: List[SweepJob]
+    results: List[TeamResult]
+    report: SweepReport = field(default_factory=SweepReport)
+
+    def by_key(self) -> Dict[object, TeamResult]:
+        """Results keyed by each job's ``key`` (jobs must have unique keys)."""
+        out: Dict[object, TeamResult] = {}
+        for job, result in zip(self.jobs, self.results):
+            if job.key in out:
+                raise ValueError("duplicate job key %r" % (job.key,))
+            out[job.key] = result
+        return out
+
+
+def run_sweep(
+    jobs: Sequence[SweepJob],
+    n_jobs: int = 1,
+    backend: Optional[object] = None,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressListener] = None,
+    calibration: Optional[SharedCalibration] = None,
+) -> SweepOutcome:
+    """Execute a sweep, returning results in deterministic job order.
+
+    Args:
+        jobs: the scenario runs to perform.
+        n_jobs: worker count; > 1 selects the process-pool backend.
+            Ignored when ``backend`` is given.
+        backend: explicit backend instance (anything with ``n_workers``
+            and ``execute(pending)``).
+        cache: optional result cache consulted before execution and
+            updated after; hits skip simulation entirely.
+        progress: optional listener for per-job progress and ETA.
+        calibration: shared calibration for the serial backend (worker
+            processes always rebuild their own).
+    """
+    jobs = list(jobs)
+    if backend is None:
+        backend = (
+            ProcessPoolBackend(n_jobs)
+            if n_jobs > 1
+            else SerialBackend(calibration=calibration)
+        )
+    listener = progress if progress is not None else ProgressListener()
+    n_workers = getattr(backend, "n_workers", 1)
+    listener.sweep_started(len(jobs), n_workers)
+
+    sweep_start = time.perf_counter()
+    results: List[Optional[TeamResult]] = [None] * len(jobs)
+    records: List[Optional[JobRecord]] = [None] * len(jobs)
+    hits = 0
+    done = 0
+    executed_walls: List[float] = []
+
+    def finish(index: int, record: JobRecord) -> None:
+        nonlocal done
+        done += 1
+        records[index] = record
+        listener.job_finished(record, done, len(jobs), eta())
+
+    def eta() -> Optional[float]:
+        left = len(jobs) - done
+        if left == 0:
+            return 0.0
+        if not executed_walls:
+            return None
+        mean = sum(executed_walls) / len(executed_walls)
+        return mean * left / max(1, n_workers)
+
+    pending: List[IndexedJob] = []
+    for index, job in enumerate(jobs):
+        cached = cache.get(job.fingerprint) if cache is not None else None
+        if cached is not None:
+            results[index] = cached
+            hits += 1
+            finish(index, JobRecord(name=job.name, wall_s=0.0, cached=True))
+        else:
+            pending.append((index, job))
+
+    for index, result, wall_s in backend.execute(pending):
+        job = jobs[index]
+        results[index] = result
+        if cache is not None:
+            cache.put(job.fingerprint, result, job_name=job.name,
+                      wall_s=wall_s)
+        executed_walls.append(wall_s)
+        finish(index, JobRecord(name=job.name, wall_s=wall_s, cached=False))
+
+    report = SweepReport(
+        records=[r for r in records if r is not None],
+        total_wall_s=time.perf_counter() - sweep_start,
+        cache_hits=hits,
+        cache_misses=len(pending),
+        n_workers=n_workers,
+    )
+    listener.sweep_finished(report)
+    return SweepOutcome(jobs=jobs, results=[r for r in results], report=report)

@@ -89,6 +89,85 @@ class TestFigureCommand:
         assert "v_max=0.5" in output and "v_max=2.0" in output
 
 
+class TestSweepCommand:
+    ARGS = [
+        "sweep", "--robots", "10", "--anchors", "5", "--period", "20",
+        "--duration", "45", "--area", "60",
+    ]
+
+    def test_default_seeds(self):
+        code, output = run_cli(self.ARGS)
+        assert code == 0
+        assert "5 seeds" in output
+        assert "error" in output and "energy" in output
+
+    def test_explicit_seed_list(self):
+        code, output = run_cli(self.ARGS + ["--seeds", "2,4"])
+        assert code == 0
+        assert "2 seeds" in output
+
+    def test_num_seeds(self):
+        code, output = run_cli(self.ARGS + ["--num-seeds", "3"])
+        assert code == 0
+        assert "3 seeds" in output
+        assert "[3/3]" in output  # per-job progress lines
+
+    def test_bad_seed_list_rejected(self):
+        code, output = run_cli(self.ARGS + ["--seeds", "1,zap"])
+        assert code == 2
+        assert "invalid" in output
+
+    def test_single_seed_rejected(self):
+        code, output = run_cli(self.ARGS + ["--seeds", "7"])
+        assert code == 2
+        assert "at least 2" in output
+
+    def test_seeds_and_num_seeds_conflict(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--seeds", "1,2", "--num-seeds", "2"]
+            )
+
+    def test_parallel_matches_serial(self):
+        code_s, out_s = run_cli(self.ARGS + ["--seeds", "1,2"])
+        code_p, out_p = run_cli(self.ARGS + ["--seeds", "1,2", "--jobs", "2"])
+        assert code_s == code_p == 0
+        # identical per-seed tables; only the worker-count header differs
+        table_s = out_s[out_s.index("\nseed"):]
+        table_p = out_p[out_p.index("\nseed"):]
+        assert table_s == table_p
+
+    def test_cache_warm_rerun(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        cold_args = self.ARGS + ["--seeds", "1,2", "--cache"]
+        code, output = run_cli(cold_args)
+        assert code == 0
+        assert "cache: 0 hits, 2 misses, 2 stored" in output
+        code, output = run_cli(cold_args)
+        assert code == 0
+        assert "cache: 2 hits, 0 misses, 0 stored" in output
+        code, output = run_cli(cold_args + ["--clear-cache"])
+        assert code == 0
+        assert "cache: 0 hits, 2 misses, 2 stored" in output
+
+
+class TestFigureOrchestrationFlags:
+    def test_fig4_with_jobs_and_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        args = ["figure", "fig4", "--duration", "60", "--jobs", "2",
+                "--cache-dir", cache_dir]
+        code, cold = run_cli(args)
+        assert code == 0
+        assert "v_max=0.5" in cold and "v_max=2.0" in cold
+        assert "2 stored" in cold
+        code, warm = run_cli(args)
+        assert code == 0
+        assert "2 hits, 0 misses" in warm
+        # cached figure data is identical to the freshly simulated data
+        assert [l for l in cold.splitlines() if l.startswith("v_max")] == \
+               [l for l in warm.splitlines() if l.startswith("v_max")]
+
+
 class TestCalibrateCommand:
     def test_prints_table(self):
         code, output = run_cli(["calibrate", "--samples", "30000"])

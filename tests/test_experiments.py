@@ -115,6 +115,42 @@ class TestSharedCalibration:
         cal = SharedCalibration()
         assert cal.table_for(fig4_config(2.0)) is None
 
+    def test_lru_bound_evicts_oldest(self):
+        cal = SharedCalibration(max_entries=2)
+        small = dict(duration_s=60.0, calibration_samples=5_000)
+        for seed in (1, 2, 3):
+            cal.table_for(headline_config(master_seed=seed, **small))
+        assert len(cal) == 2
+        assert cal.evictions == 1
+        # Seed 1 was evicted; touching it rebuilds rather than crashing.
+        assert cal.table_for(headline_config(master_seed=1, **small))
+
+    def test_lru_touch_refreshes_recency(self):
+        cal = SharedCalibration(max_entries=2)
+        small = dict(duration_s=60.0, calibration_samples=5_000)
+        t1 = cal.table_for(headline_config(master_seed=1, **small))
+        cal.table_for(headline_config(master_seed=2, **small))
+        cal.table_for(headline_config(master_seed=1, **small))  # refresh 1
+        cal.table_for(headline_config(master_seed=3, **small))  # evicts 2
+        assert cal.table_for(headline_config(master_seed=1, **small)) is t1
+
+    def test_clear_drops_tables(self):
+        cal = SharedCalibration()
+        config = headline_config(duration_s=60.0, calibration_samples=5_000)
+        table = cal.table_for(config)
+        cal.clear()
+        assert len(cal) == 0
+        assert cal.table_for(config) is not table
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(ValueError):
+            SharedCalibration(max_entries=0)
+
+    def test_default_calibration_is_shared(self):
+        from repro.experiments.runner import default_calibration
+
+        assert default_calibration() is default_calibration()
+
     def test_run_scenario_smoke(self):
         config = fig4_config(2.0, duration_s=30.0, master_seed=1)
         result = run_scenario(config)

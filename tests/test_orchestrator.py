@@ -1,0 +1,289 @@
+"""Tests for the sweep orchestrator: jobs, cache, executor, progress.
+
+The determinism guard is the load-bearing test: parallel execution must
+produce bit-identical metrics to serial execution for the same master
+seeds, and a warm cache must answer a repeated sweep without running a
+single simulation.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.analysis.seeds import run_seed_sweep
+from repro.core.config import CoCoAConfig
+from repro.experiments.runner import run_scenario
+from repro.orchestrator.cache import ResultCache
+from repro.orchestrator.executor import (
+    ProcessPoolBackend,
+    SerialBackend,
+    run_sweep,
+)
+from repro.orchestrator.jobs import (
+    SweepJob,
+    config_digest,
+    grid_jobs,
+    seed_jobs,
+)
+from repro.orchestrator.progress import (
+    JobRecord,
+    ProgressListener,
+    ProgressPrinter,
+    SweepReport,
+)
+from repro.util.geometry import Rect
+
+
+def tiny_config(**overrides):
+    """A scenario small enough that a sweep of it runs in seconds."""
+    defaults = dict(
+        area=Rect.square(60.0),
+        n_robots=8,
+        n_anchors=4,
+        beacon_period_s=20.0,
+        duration_s=45.0,
+        calibration_samples=6000,
+    )
+    defaults.update(overrides)
+    return CoCoAConfig(**defaults)
+
+
+class TestConfigDigest:
+    def test_stable_across_instances(self):
+        assert config_digest(tiny_config()) == config_digest(tiny_config())
+
+    def test_is_hex_sha256(self):
+        digest = config_digest(tiny_config())
+        assert len(digest) == 64
+        int(digest, 16)
+
+    def test_any_field_change_changes_digest(self):
+        base = config_digest(tiny_config())
+        assert config_digest(tiny_config(master_seed=2)) != base
+        assert config_digest(tiny_config(v_max=1.9)) != base
+        assert config_digest(tiny_config(coordination=False)) != base
+
+    def test_nested_dataclass_fields_hash(self):
+        from repro.net.phy import PathLossModel
+
+        tweaked = tiny_config(path_loss=PathLossModel(gaussian_sigma_db=3.1))
+        assert config_digest(tweaked) != config_digest(tiny_config())
+
+
+class TestJobBuilders:
+    def test_seed_jobs(self):
+        jobs = seed_jobs(tiny_config(), seeds=(3, 7))
+        assert [j.key for j in jobs] == [3, 7]
+        assert [j.config.master_seed for j in jobs] == [3, 7]
+        assert jobs[0].name == "seed=3"
+
+    def test_grid_jobs(self):
+        jobs = grid_jobs(tiny_config(), "beacon_period_s", (10.0, 15.0))
+        assert [j.config.beacon_period_s for j in jobs] == [10.0, 15.0]
+        assert jobs[1].name == "beacon_period_s=15.0"
+
+    def test_fingerprint_matches_digest(self):
+        job = SweepJob(config=tiny_config(), name="x")
+        assert job.fingerprint == config_digest(job.config)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path / "c"))
+        job = SweepJob(config=tiny_config(), name="one")
+        assert cache.get(job.fingerprint) is None
+        result = run_scenario(job.config)
+        assert cache.put(job.fingerprint, result, job_name="one", wall_s=0.5)
+        loaded = cache.get(job.fingerprint)
+        assert loaded is not None
+        assert loaded.errors.shape == result.errors.shape
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        assert cache.stats.errors == 0
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_salt_change_invalidates(self, tmp_path):
+        root = str(tmp_path / "c")
+        job = SweepJob(config=tiny_config(), name="one")
+        old = ResultCache(root=root, salt="v1")
+        old.put(job.fingerprint, run_scenario(job.config))
+        new = ResultCache(root=root, salt="v2")
+        assert new.get(job.fingerprint) is None
+        assert new.stats.misses == 1
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path / "c"))
+        job = SweepJob(config=tiny_config(), name="one")
+        cache.put(job.fingerprint, run_scenario(job.config))
+        with open(cache.path_for(job.fingerprint), "wb") as handle:
+            handle.write(b"not a pickle")
+        assert cache.get(job.fingerprint) is None
+        assert cache.stats.errors == 1
+
+    def test_wrong_payload_type_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path / "c"))
+        fp = "ab" * 32
+        os.makedirs(os.path.dirname(cache.path_for(fp)), exist_ok=True)
+        with open(cache.path_for(fp), "wb") as handle:
+            pickle.dump({"not": "a TeamResult"}, handle)
+        assert cache.get(fp) is None
+        assert cache.stats.errors == 1
+
+    def test_unwritable_root_never_crashes(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a regular file where the cache dir should go")
+        cache = ResultCache(root=str(blocker))
+        result = run_scenario(tiny_config())
+        assert not cache.put("ab" * 32, result)
+        assert cache.stats.errors == 1
+        assert cache.stats.stores == 0
+
+    def test_unwritable_cache_still_sweeps(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        cache = ResultCache(root=str(blocker))
+        jobs = seed_jobs(tiny_config(), seeds=(1, 2))
+        outcome = run_sweep(jobs, cache=cache)
+        assert len(outcome.results) == 2
+        assert outcome.report.n_executed == 2
+        assert cache.stats.errors >= 2
+
+    def test_manifest_records_stores(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path / "c"))
+        jobs = seed_jobs(tiny_config(), seeds=(1, 2))
+        run_sweep(jobs, cache=cache)
+        entries = cache.entries()
+        assert len(entries) == 2
+        assert {e.job for e in entries} == {"seed=1", "seed=2"}
+        assert all(e.fingerprint for e in entries)
+        assert cache.size_bytes() > 0
+
+    def test_clear_wipes_everything(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path / "c"))
+        job = SweepJob(config=tiny_config(), name="one")
+        cache.put(job.fingerprint, run_scenario(job.config))
+        cache.clear()
+        assert not os.path.exists(cache.root)
+        assert cache.get(job.fingerprint) is None
+
+
+class RecordingListener(ProgressListener):
+    def __init__(self):
+        self.started = None
+        self.finished = []
+        self.report = None
+
+    def sweep_started(self, n_jobs, n_workers):
+        self.started = (n_jobs, n_workers)
+
+    def job_finished(self, record, done, total, eta_s):
+        self.finished.append((record, done, total, eta_s))
+
+    def sweep_finished(self, report):
+        self.report = report
+
+
+class TestRunSweep:
+    def test_results_in_job_order(self):
+        jobs = seed_jobs(tiny_config(), seeds=(5, 2, 9))
+        outcome = run_sweep(jobs)
+        assert [r.config.master_seed for r in outcome.results] == [5, 2, 9]
+        assert outcome.by_key()[9].config.master_seed == 9
+
+    def test_by_key_rejects_duplicates(self):
+        jobs = [
+            SweepJob(config=tiny_config(), name="a", key="same"),
+            SweepJob(config=tiny_config(master_seed=2), name="b", key="same"),
+        ]
+        outcome = run_sweep(jobs)
+        with pytest.raises(ValueError):
+            outcome.by_key()
+
+    def test_progress_callbacks(self):
+        listener = RecordingListener()
+        jobs = seed_jobs(tiny_config(), seeds=(1, 2))
+        run_sweep(jobs, progress=listener)
+        assert listener.started == (2, 1)
+        assert [done for _, done, _, _ in listener.finished] == [1, 2]
+        assert listener.report.n_jobs == 2
+        assert listener.report.n_executed == 2
+        assert all(r.wall_s > 0 for r in listener.report.records)
+
+    def test_progress_printer_output(self, capsys):
+        import io
+
+        out = io.StringIO()
+        jobs = seed_jobs(tiny_config(), seeds=(1, 2))
+        run_sweep(jobs, progress=ProgressPrinter(out=out))
+        text = out.getvalue()
+        assert "sweep: 2 jobs" in text
+        assert "[1/2]" in text and "[2/2]" in text
+        assert "sweep done:" in text
+
+    def test_report_summary_format(self):
+        report = SweepReport(
+            records=[
+                JobRecord(name="a", wall_s=1.0, cached=False),
+                JobRecord(name="b", wall_s=0.0, cached=True),
+            ],
+            total_wall_s=1.2,
+            cache_hits=1,
+            cache_misses=1,
+            n_workers=2,
+        )
+        text = report.format_summary()
+        assert "2 jobs" in text
+        assert "1 executed" in text
+        assert "1 cached" in text
+        assert "2 workers" in text
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(0)
+
+    def test_explicit_backend_instance(self):
+        jobs = seed_jobs(tiny_config(), seeds=(1, 2))
+        outcome = run_sweep(jobs, backend=SerialBackend())
+        assert outcome.report.n_workers == 1
+        assert len(outcome.results) == 2
+
+
+class TestDeterminismGuard:
+    """Parallel output must be bit-identical to serial output."""
+
+    SEEDS = (1, 2, 3, 4, 5, 6, 7, 8)
+
+    def test_serial_vs_parallel_seed_sweep_bit_identical(self):
+        serial = run_seed_sweep(tiny_config(), seeds=self.SEEDS, jobs=1)
+        parallel = run_seed_sweep(tiny_config(), seeds=self.SEEDS, jobs=2)
+        assert serial.error_time_averages_m == parallel.error_time_averages_m
+        assert serial.energy_totals_j == parallel.energy_totals_j
+        assert serial.error_ci.mean == parallel.error_ci.mean
+
+    def test_acceptance_eight_jobs_four_workers_with_warm_cache(
+        self, tmp_path
+    ):
+        """The issue's acceptance bar: >= 8 seed jobs, --jobs 4, identical
+        to serial; second warm-cache invocation simulates nothing."""
+        jobs = seed_jobs(tiny_config(), seeds=self.SEEDS)
+        serial = run_sweep(jobs)
+
+        cache = ResultCache(root=str(tmp_path / "cache"))
+        cold = run_sweep(jobs, n_jobs=4, cache=cache)
+        assert cold.report.n_workers == 4
+        assert cold.report.n_executed == len(self.SEEDS)
+        for a, b in zip(serial.results, cold.results):
+            assert a.errors.tolist() == b.errors.tolist()
+            assert a.total_energy_j() == b.total_energy_j()
+            assert a.beacons_sent == b.beacons_sent
+
+        warm_cache = ResultCache(root=str(tmp_path / "cache"))
+        warm = run_sweep(jobs, n_jobs=4, cache=warm_cache)
+        assert warm.report.n_executed == 0
+        assert warm_cache.stats.hits == len(self.SEEDS)
+        assert warm_cache.stats.misses == 0
+        for a, b in zip(serial.results, warm.results):
+            assert a.errors.tolist() == b.errors.tolist()
+            assert a.total_energy_j() == b.total_energy_j()
