@@ -42,7 +42,7 @@ class ResilientRoutingTeam(RoutingTeam):
         ResilientTeam._wire_failover(self)
         for node in self.nodes:
             if node.coordinator is not None:
-                node.coordinator._resync_after = 3
+                node.coordinator.resync_after = 3
 
     def _hook_anchor(self, node, component):
         from repro.ext.failures import ResilientTeam

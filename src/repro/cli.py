@@ -6,6 +6,7 @@ Usage (installed package):
     python -m repro run --mode rf_only --period 50
     python -m repro figure fig9 --duration 600 --jobs 4 --cache
     python -m repro sweep --num-seeds 8 --jobs 4 --duration 600
+    python -m repro resilience --duration 600 --jobs 4
     python -m repro calibrate
 
 Every command prints plain-text tables; nothing is plotted, so the tool
@@ -124,6 +125,17 @@ def build_parser() -> argparse.ArgumentParser:
     seeds.add_argument("--num-seeds", type=int, default=None,
                        help="sweep seeds 1..N")
     _add_orchestration_args(sweep)
+
+    resilience = sub.add_parser(
+        "resilience",
+        help="error vs fault intensity, with and without defenses",
+    )
+    _add_scenario_args(resilience)
+    resilience.add_argument("--seed", type=int, default=1,
+                            help="master seed")
+    resilience.add_argument("--intensities", default="0,0.5,1",
+                            help="comma-separated fault intensities")
+    _add_orchestration_args(resilience)
 
     calibrate = sub.add_parser(
         "calibrate", help="run the offline calibration and print the table"
@@ -351,6 +363,52 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_resilience(args: argparse.Namespace, out) -> int:
+    from repro.experiments.resilience import run_resilience_sweep
+    from repro.orchestrator.progress import ProgressPrinter
+
+    try:
+        intensities = [
+            float(s) for s in args.intensities.split(",") if s.strip()
+        ]
+    except ValueError:
+        print("invalid --intensities list %r" % args.intensities, file=out)
+        return 2
+    if not intensities:
+        print("need at least one intensity", file=out)
+        return 2
+
+    config = _config_from_args(args)
+    cache = _cache_from_args(args)
+    print("resilience: %d robots (%d anchors), T=%.0fs, %.0fs, "
+          "intensities %s"
+          % (config.n_robots, config.n_anchors, config.beacon_period_s,
+             config.duration_s,
+             ", ".join("%g" % i for i in intensities)), file=out)
+    result = run_resilience_sweep(
+        intensities=intensities,
+        base_config=config,
+        jobs=args.jobs,
+        cache=cache,
+        progress=ProgressPrinter(out=out),
+    )
+    print("", file=out)
+    print("%-10s %-16s %-16s %s"
+          % ("intensity", "undefended (m)", "defended (m)",
+             "gated/quarantined/resets"), file=out)
+    for intensity in intensities:
+        cells = result[intensity]
+        plain = cells["undefended"]["summary"].time_average_m
+        hard = cells["defended"]["summary"].time_average_m
+        print("%-10g %-16.2f %-16.2f %d/%d/%d"
+              % (intensity, plain, hard,
+                 cells["defended"]["beacons_gated"],
+                 cells["defended"]["beacons_quarantined"],
+                 cells["defended"]["watchdog_resets"]), file=out)
+    _print_cache_summary(cache, out)
+    return 0
+
+
 def cmd_calibrate(args: argparse.Namespace, out) -> int:
     from repro.core.calibration import build_pdf_table
     from repro.net.phy import PathLossModel
@@ -388,6 +446,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return cmd_figure(args, out)
     if args.command == "sweep":
         return cmd_sweep(args, out)
+    if args.command == "resilience":
+        return cmd_resilience(args, out)
     if args.command == "calibrate":
         return cmd_calibrate(args, out)
     parser.error("unknown command %r" % args.command)

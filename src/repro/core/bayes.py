@@ -53,6 +53,7 @@ class GridBayesFilter:
         self._cell_x, self._cell_y = np.meshgrid(xs, ys)
         self._posterior = np.full((ny, nx), 1.0 / (nx * ny))
         self._beacons_applied = 0
+        self._annihilations = 0
         # Scratch buffers reused by apply_beacon's hot path.
         self._dist_buf = np.empty((ny, nx))
         self._constraint_buf = np.empty((ny, nx))
@@ -82,11 +83,18 @@ class GridBayesFilter:
         """Beacons incorporated since the last reset."""
         return self._beacons_applied
 
+    @property
+    def annihilations(self) -> int:
+        """Constraint annihilations (rescue restarts) since the last
+        reset — mutually inconsistent evidence arrived this round."""
+        return self._annihilations
+
     def reset_uniform(self) -> None:
         """Restart from the uniform prior (Equation 2's initial estimate:
         "a robot is equally likely to be in any position")."""
         self._posterior.fill(1.0 / self._posterior.size)
         self._beacons_applied = 0
+        self._annihilations = 0
 
     def apply_beacon(
         self, beacon: Vec2, rssi_dbm: float, table: PdfTable
@@ -112,6 +120,7 @@ class GridBayesFilter:
         self._posterior *= constraint
         total = self._posterior.sum()
         if total <= 1e-300 or not np.isfinite(total):
+            self._annihilations += 1
             np.divide(constraint, constraint.sum(), out=self._posterior)
         else:
             self._posterior /= total
@@ -154,3 +163,23 @@ class GridBayesFilter:
         """Shannon entropy of the posterior in bits (uniform = max)."""
         p = self._posterior[self._posterior > 0]
         return float(-(p * np.log2(p)).sum())
+
+    def is_degenerate(self) -> bool:
+        """Has the posterior stopped being a trustworthy distribution?
+
+        Degeneracy means either the mass is no longer normalizable
+        (NaN/inf crept in, or it no longer sums to one) or the round's
+        evidence was mutually inconsistent (a constraint annihilated the
+        posterior) *and* the surviving mass has collapsed to near-zero
+        entropy — a confidently wrong spike.  The posterior-health
+        watchdog resets to the prior in either case rather than adopting
+        a junk fix.
+        """
+        total = float(self._posterior.sum())
+        if not np.isfinite(total) or abs(total - 1.0) > 1e-6:
+            return True
+        return (
+            self._beacons_applied >= 2
+            and self._annihilations > 0
+            and self.entropy_bits() < 1.0
+        )

@@ -14,6 +14,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.energy.model import EnergyModel
+from repro.faults.spec import DefenseConfig, FaultPlan
 from repro.mobility.odometry import OdometryNoise
 from repro.net.phy import PathLossModel, ReceiverModel
 from repro.util.geometry import Rect
@@ -105,6 +106,9 @@ class CoCoAConfig:
         slam_error_std_m: σ of the anchors' own (SLAM-provided) position
             error; the paper treats SLAM output as exact (0.0).
         metric_interval_s: how often localization error is sampled.
+        faults: injected RF/sensor faults (default: none — a provable
+            no-op that reproduces the unfaulted simulation bit-identically).
+        defenses: graceful-degradation defenses (default: all off).
     """
 
     area: Rect = field(default_factory=lambda: Rect.square(200.0))
@@ -137,6 +141,8 @@ class CoCoAConfig:
     calibration_samples: int = 120_000
     slam_error_std_m: float = 0.0
     metric_interval_s: float = 1.0
+    faults: FaultPlan = field(default_factory=FaultPlan)
+    defenses: DefenseConfig = field(default_factory=DefenseConfig)
 
     def __post_init__(self) -> None:
         check_positive("n_robots", self.n_robots)

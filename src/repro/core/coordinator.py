@@ -22,7 +22,7 @@ schedule runs but radios stay idle instead of sleeping.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 from repro.core.clock import DriftingClock
 from repro.net.interface import NetworkInterface
@@ -131,6 +131,8 @@ class Coordinator:
                 % resync_after_silent_periods
             )
         self._resync_after = resync_after_silent_periods
+        self._window_start_hooks: List[Callable[[], None]] = []
+        self._window_close_hooks: List[Callable[[], None]] = []
         self._silent_periods = 0
         self._syncs_at_last_period = 0
         #: Set by a node that *is* the Sync source: its own silence is not
@@ -157,6 +159,35 @@ class Coordinator:
     @property
     def clock(self) -> DriftingClock:
         return self._clock
+
+    @property
+    def resync_after(self) -> Optional[int]:
+        """Silent periods before the radio stops sleeping to re-acquire
+        SYNC (``None`` disables resync mode)."""
+        return self._resync_after
+
+    @resync_after.setter
+    def resync_after(self, periods: Optional[int]) -> None:
+        if periods is not None and periods < 1:
+            raise ValueError(
+                "resync_after must be >= 1 or None, got %r" % periods
+            )
+        self._resync_after = periods
+
+    def add_window_start_hook(self, hook: Callable[[], None]) -> None:
+        """Run ``hook`` at every window start, after the primary
+        ``on_window_start`` callback.
+
+        This is the public extension point extensions (failover, beacon
+        promotion, application traffic) attach to; hooks run in
+        registration order and survive parameter changes via SYNC.
+        """
+        self._window_start_hooks.append(hook)
+
+    def add_window_close_hook(self, hook: Callable[[], None]) -> None:
+        """Run ``hook`` at every window close, after the primary
+        ``on_window_close`` callback."""
+        self._window_close_hooks.append(hook)
 
     def start(self) -> None:
         """Begin the schedule; the first window opens immediately.
@@ -219,6 +250,8 @@ class Coordinator:
             return
         if self._on_window_start is not None:
             self._on_window_start()
+        for hook in self._window_start_hooks:
+            hook()
         start_local = self._current_window_start_local()
         self._schedule_at_local(
             start_local + self._window_s,
@@ -231,6 +264,8 @@ class Coordinator:
             return
         if self._on_window_close is not None:
             self._on_window_close()
+        for hook in self._window_close_hooks:
+            hook()
         local_now = self._clock.local_time(self._sim.now)
         self._schedule_at_local(
             local_now + self._sync_slack_s,

@@ -26,7 +26,8 @@ displacement comparable to the fix noise.
 
 from __future__ import annotations
 
-from typing import Optional
+import math
+from typing import Dict, Optional
 
 from repro.core.bayes import GridBayesFilter
 from repro.core.config import LocalizationMode
@@ -62,7 +63,47 @@ class PositionEstimator:
             ``position_std_m`` / ``beacons_applied`` protocol (e.g. a
             :class:`~repro.core.particle.ParticleFilter`); defaults to the
             paper's :class:`~repro.core.bayes.GridBayesFilter`.
+        beacon_gate_sigma: if > 0, reject beacons whose implied range
+            (PDF-table mean for the measured RSSI) disagrees with the
+            distance to the current estimate by more than this many
+            table sigmas plus the last fix spread plus
+            ``beacon_gate_slack_m`` — Mahalanobis-style gating against
+            corrupted coordinates and grossly miscalibrated anchors.
+            The gate only arms after a window that produced a fix: with
+            no trusted estimate every beacon must count, and a window
+            the gate starved of beacons disarms it — the robot's own
+            estimate, not the beacons, is then the likely outlier, so
+            re-arming only after the next fix makes a gate-induced
+            death spiral (bad estimate gates good beacons, which keeps
+            the estimate bad) structurally impossible.
+        beacon_gate_slack_m: additive gate slack covering robot motion
+            between fixes.
+        watchdog: enable the posterior-health watchdog — a degenerate
+            filter (see ``is_degenerate`` on the filter) is reset to the
+            prior at window close instead of producing a junk fix.
+        anchor_expiry_s: if > 0, keep a per-anchor suspicion score that
+            decays with this time constant; anchors above the quarantine
+            threshold are ignored until their suspicion expires
+            (stale/drifted-anchor expiry).  Suspicion rises on gated
+            beacons and, more sharply, on *fix residuals*: after each
+            successful fix, an anchor whose RSSI-implied range disagrees
+            with the fix by more than ``RESIDUAL_SIGMA`` table sigmas is
+            suspected.  The residual test is what actually catches
+            slowly drifting calibration — per-beacon gating must
+            tolerate raw RSSI noise, while a multi-beacon fix averages
+            that noise away and exposes the systematic offset.
     """
+
+    #: Suspicion score at which an anchor is quarantined.
+    QUARANTINE_THRESHOLD = 3.0
+    #: Fix-residual z-score beyond which an anchor draws suspicion.
+    #: Calibrated against the shipped PDF table: honest beacons exceed
+    #: it ~3% of the time (suspicion decays faster than that trickle
+    #: accumulates), beacons from a 6 dB-drifted radio ~50%.
+    RESIDUAL_SIGMA = 2.0
+    #: Posterior spread above which a fix is too uncertain to judge
+    #: anchors; residual suspicion is skipped for that window.
+    RESIDUAL_MAX_FIX_STD_M = 5.0
 
     def __init__(
         self,
@@ -76,6 +117,10 @@ class PositionEstimator:
         initial_heading: float = 0.0,
         min_heading_fix_displacement_m: float = 1.0,
         position_filter=None,
+        beacon_gate_sigma: float = 0.0,
+        beacon_gate_slack_m: float = 10.0,
+        watchdog: bool = False,
+        anchor_expiry_s: float = 0.0,
     ) -> None:
         self._mode = mode
         self._area = area
@@ -83,6 +128,15 @@ class PositionEstimator:
         self._odometry = odometry
         self._min_beacons = min_beacons_for_fix
         self._min_heading_disp = min_heading_fix_displacement_m
+        self._gate_sigma = beacon_gate_sigma
+        self._gate_slack_m = beacon_gate_slack_m
+        self._watchdog = watchdog
+        self._anchor_expiry_s = anchor_expiry_s
+        #: anchor_id -> (suspicion score, time of last update)
+        self._suspicion: Dict[int, tuple] = {}
+        #: (anchor_id, claimed position, rssi) applied this window.
+        self._window_beacons: list = []
+        self._last_beacon_t = 0.0
 
         if mode is LocalizationMode.ODOMETRY_ONLY:
             if initial_position is None:
@@ -110,10 +164,17 @@ class PositionEstimator:
         if odometry is not None and mode is not LocalizationMode.RF_ONLY:
             self._dead_reckoner = DeadReckoning(start, initial_heading)
         self._last_fix: Optional[Vec2] = None
+        self._gate_armed = False
         self._window_open = False
         self.fixes = 0
         self.beacons_heard = 0
         self.windows_without_fix = 0
+        #: Beacons rejected by the geometric consistency gate.
+        self.beacons_gated = 0
+        #: Beacons ignored because their anchor is quarantined.
+        self.beacons_quarantined = 0
+        #: Posterior-health watchdog resets.
+        self.watchdog_resets = 0
         #: Posterior spread of the most recent fix — the "goodness of the
         #: location" measure the beacon-promotion extension gates on.
         self.last_fix_std_m: Optional[float] = None
@@ -154,20 +215,131 @@ class PositionEstimator:
         if self._filter is None:
             return
         self._filter.reset_uniform()
+        self._window_beacons.clear()
         self._window_open = True
 
-    def on_beacon(self, beacon_position: Vec2, rssi_dbm: float) -> None:
+    def on_beacon(
+        self,
+        beacon_position: Vec2,
+        rssi_dbm: float,
+        anchor_id: Optional[int] = None,
+        t: float = 0.0,
+    ) -> None:
         """Incorporate a received beacon into the current round's filter.
 
         Beacons heard while no round is open (e.g. after this node closed
         its window but before it slept) still count — they seed the filter
         that the *next* window close will read, matching a real
         implementation that never throws a measurement away.
+
+        Args:
+            beacon_position: the anchor's claimed coordinates.
+            rssi_dbm: the measured signal strength.
+            anchor_id: the claiming anchor (enables the quarantine
+                ledger); optional for backward compatibility.
+            t: receive time (drives the suspicion decay).
         """
         if self._filter is None or self._table is None:
             return
+        if not (
+            math.isfinite(beacon_position.x)
+            and math.isfinite(beacon_position.y)
+            and math.isfinite(rssi_dbm)
+        ):
+            # Non-finite measurements are garbage regardless of any
+            # defense configuration; the healthy pipeline never produces
+            # them, so dropping them cannot perturb a baseline run.
+            return
+        if self._is_quarantined(anchor_id, t):
+            self.beacons_quarantined += 1
+            return
+        if self._gate_rejects(beacon_position, rssi_dbm):
+            self.beacons_gated += 1
+            self._raise_suspicion(anchor_id, t)
+            return
         self._filter.apply_beacon(beacon_position, rssi_dbm, self._table)
         self.beacons_heard += 1
+        self._last_beacon_t = max(self._last_beacon_t, t)
+        if self._anchor_expiry_s > 0.0 and anchor_id is not None:
+            self._window_beacons.append(
+                (anchor_id, beacon_position, rssi_dbm)
+            )
+
+    # -- graceful-degradation defenses ---------------------------------------
+
+    def _gate_rejects(self, beacon_position: Vec2, rssi_dbm: float) -> bool:
+        """The beacon gate: is the claimed position geometrically
+        inconsistent with the current estimate and the measured RSSI?"""
+        if (
+            self._gate_sigma <= 0.0
+            or self._last_fix is None
+            or not self._gate_armed
+        ):
+            return False
+        implied = self._table.bin_for(rssi_dbm)
+        separation = self._estimate.distance_to(beacon_position)
+        tolerance = (
+            self._gate_sigma * max(implied.std_m, 1.0)
+            + (self.last_fix_std_m or 0.0)
+            + self._gate_slack_m
+        )
+        return abs(separation - implied.mean_m) > tolerance
+
+    def _suspicion_of(self, anchor_id: int, t: float) -> float:
+        score, since = self._suspicion.get(anchor_id, (0.0, t))
+        if self._anchor_expiry_s <= 0.0:
+            return score
+        return score * math.exp(-max(t - since, 0.0) / self._anchor_expiry_s)
+
+    def _is_quarantined(self, anchor_id: Optional[int], t: float) -> bool:
+        if self._anchor_expiry_s <= 0.0 or anchor_id is None:
+            return False
+        return (
+            self._suspicion_of(anchor_id, t) >= self.QUARANTINE_THRESHOLD
+        )
+
+    def _suspect_residual_anchors(self, fix: Vec2) -> None:
+        """Raise suspicion for anchors inconsistent with a fresh fix.
+
+        A successful fix averages the window's beacons, so an anchor
+        whose RSSI-implied range still disagrees with it by several
+        table sigmas is systematically wrong (drifted calibration,
+        stale coordinates) rather than unlucky.  Only *confident* fixes
+        (posterior spread below ``RESIDUAL_MAX_FIX_STD_M``) may judge
+        anchors: when the posterior is wide the fix itself is the least
+        trustworthy quantity in the residual, and feeding it into
+        quarantine blames honest anchors for the robot's own confusion.
+        """
+        if self._anchor_expiry_s <= 0.0 or not self._window_beacons:
+            return
+        fix_std_m = self._filter.position_std_m()
+        if fix_std_m > self.RESIDUAL_MAX_FIX_STD_M:
+            self._window_beacons.clear()
+            return
+        t = self._last_beacon_t
+        for anchor_id, position, rssi_dbm in self._window_beacons:
+            implied = self._table.bin_for(rssi_dbm)
+            z = abs(
+                fix.distance_to(position) - implied.mean_m
+            ) / max(implied.std_m, 1.0)
+            if z > self.RESIDUAL_SIGMA:
+                # Scale suspicion with how wrong the anchor is, so a
+                # grossly drifted radio is quarantined within a window
+                # or two while borderline ones need repeat offenses.
+                self._raise_suspicion(
+                    anchor_id, t, amount=1.0 + (z - self.RESIDUAL_SIGMA)
+                )
+        self._window_beacons.clear()
+
+    def _raise_suspicion(
+        self, anchor_id: Optional[int], t: float, amount: float = 1.0
+    ) -> None:
+        if self._anchor_expiry_s <= 0.0 or anchor_id is None:
+            return
+        self._suspicion[anchor_id] = (
+            self._suspicion_of(anchor_id, t) + amount,
+            t,
+        )
 
     def on_window_close(self) -> None:
         """The transmit window ended: produce a fix if enough beacons came.
@@ -178,10 +350,22 @@ class PositionEstimator:
         self._window_open = False
         if self._filter is None:
             return
+        if self._watchdog and self._posterior_degenerate():
+            # The round's evidence broke the posterior: reset to the
+            # prior and keep the previous estimate rather than adopting
+            # a confidently wrong fix.
+            self._filter.reset_uniform()
+            self.watchdog_resets += 1
+            self.windows_without_fix += 1
+            self._gate_armed = False
+            return
         if self._filter.beacons_applied < self._min_beacons:
             self.windows_without_fix += 1
+            self._gate_armed = False
             return
         fix = self._filter.estimate()
+        self._gate_armed = True
+        self._suspect_residual_anchors(fix)
         self.last_fix_std_m = self._filter.position_std_m()
         self.fixes += 1
         if self._mode is LocalizationMode.RF_ONLY:
@@ -189,6 +373,20 @@ class PositionEstimator:
         else:
             self._apply_cocoa_fix(fix)
         self._last_fix = fix
+
+    def _posterior_degenerate(self) -> bool:
+        """Watchdog check, filter-agnostic: a filter without an
+        ``is_degenerate`` probe (e.g. the particle filter) only trips on
+        a non-finite point estimate."""
+        probe = getattr(self._filter, "is_degenerate", None)
+        if probe is not None and probe():
+            return True
+        if self._filter.beacons_applied >= self._min_beacons:
+            estimate = self._filter.estimate()
+            return not (
+                math.isfinite(estimate.x) and math.isfinite(estimate.y)
+            )
+        return False
 
     def _apply_cocoa_fix(self, fix: Vec2) -> None:
         """Re-anchor the dead reckoner on a fresh RF fix."""

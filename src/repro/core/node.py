@@ -91,4 +91,9 @@ class RobotNode:
         if self.estimator is None:
             return
         payload: BeaconPayload = received.packet.payload
-        self.estimator.on_beacon(payload.position, received.rssi_dbm)
+        self.estimator.on_beacon(
+            payload.position,
+            received.rssi_dbm,
+            anchor_id=payload.anchor_id,
+            t=received.receive_time,
+        )

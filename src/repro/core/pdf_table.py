@@ -82,8 +82,11 @@ class DistanceDistribution:
             # range), so direct indexing replaces searchsorted.
             n_bins = len(self.hist_density)
             width = self.hist_edges[-1] / n_bins
-            idx = (d * (1.0 / width)).astype(np.intp)
-            np.clip(idx, 0, n_bins - 1, out=idx)
+            # Clip before the integer cast: corrupted coordinates can put
+            # cells astronomically far from the claimed beacon origin, and
+            # casting such distances to intp is undefined.
+            scaled = np.clip(d * (1.0 / width), 0.0, float(n_bins - 1))
+            idx = scaled.astype(np.intp)
             padded = self.hist_density[idx]
             outside = d >= self.hist_edges[-1]
             if np.any(outside):

@@ -34,6 +34,8 @@ from repro.core.estimator import PositionEstimator
 from repro.core.node import RobotNode, RobotRole
 from repro.core.pdf_table import PdfTable
 from repro.energy.report import TeamEnergyReport, aggregate_meters
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import FaultPlan
 from repro.mobility.odometry import OdometrySensor
 from repro.mobility.waypoint import WaypointMobility
 from repro.multicast.lifetime import kinematics_of
@@ -64,6 +66,9 @@ class TeamResult:
         fixes: total RF fixes produced across measured robots.
         windows_without_fix: beacon rounds that ended with too few beacons.
         syncs_received: SYNC messages delivered across the team.
+        beacons_gated: beacons rejected by the geometric consistency gate.
+        beacons_quarantined: beacons ignored from quarantined anchors.
+        watchdog_resets: posterior-health watchdog resets across robots.
     """
 
     config: CoCoAConfig
@@ -78,6 +83,9 @@ class TeamResult:
     fixes: int = 0
     windows_without_fix: int = 0
     syncs_received: int = 0
+    beacons_gated: int = 0
+    beacons_quarantined: int = 0
+    watchdog_resets: int = 0
 
     def mean_error_series(self) -> np.ndarray:
         """Average error over robots at each sample time (the paper's
@@ -119,10 +127,17 @@ class CoCoATeam:
         pdf_table: optionally reuse an already calibrated PDF Table (the
             calibration is a property of the hardware, not the scenario,
             so parameter sweeps share it — and save the calibration cost).
+        faults: optional :class:`~repro.faults.spec.FaultPlan` overriding
+            ``config.faults`` (the config field is what sweeps and the
+            result cache see; the argument is an escape hatch for direct
+            programmatic use).
     """
 
     def __init__(
-        self, config: CoCoAConfig, pdf_table: Optional[PdfTable] = None
+        self,
+        config: CoCoAConfig,
+        pdf_table: Optional[PdfTable] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.config = config
         self.streams = RandomStreams(config.master_seed)
@@ -130,6 +145,16 @@ class CoCoATeam:
         self.channel = BroadcastChannel(
             self.sim, config.path_loss, self.streams.get("phy")
         )
+        plan = faults if faults is not None else config.faults
+        self.fault_plan = plan
+        self.faults: Optional[FaultInjector] = None
+        if not plan.is_noop():
+            # A no-op plan never constructs an injector: the unfaulted
+            # code path runs untouched and stays bit-identical.
+            self.faults = FaultInjector(
+                plan, self.streams, crc_check=config.defenses.crc_check
+            )
+            self.channel.install_faults(self.faults)
         if pdf_table is None and self._needs_rf():
             calibration = build_pdf_table(
                 config.path_loss,
@@ -178,6 +203,8 @@ class CoCoATeam:
             clock = DriftingClock.random(
                 self.streams.spawn("clock", node_id), config.clock_drift_rate
             )
+            if self.faults is not None:
+                self.faults.attach_radio(node_id, interface.radio)
             multicast = (
                 self._build_multicast(node_id, interface, mobility, sync_robot_id)
                 if rf_active
@@ -302,6 +329,7 @@ class CoCoATeam:
                 self.streams.spawn("filter", node_id),
                 n_particles=config.n_particles,
             )
+        defenses = config.defenses
         return PositionEstimator(
             mode=mode,
             area=config.area,
@@ -312,6 +340,10 @@ class CoCoATeam:
             initial_position=initial_position,
             initial_heading=initial_heading,
             position_filter=position_filter,
+            beacon_gate_sigma=defenses.beacon_gate_sigma,
+            beacon_gate_slack_m=defenses.beacon_gate_slack_m,
+            watchdog=defenses.watchdog,
+            anchor_expiry_s=defenses.anchor_expiry_s,
         )
 
     def _build_coordinator(
@@ -467,4 +499,11 @@ class CoCoATeam:
                 n.estimator.windows_without_fix for n in measured
             ),
             syncs_received=syncs,
+            beacons_gated=sum(n.estimator.beacons_gated for n in measured),
+            beacons_quarantined=sum(
+                n.estimator.beacons_quarantined for n in measured
+            ),
+            watchdog_resets=sum(
+                n.estimator.watchdog_resets for n in measured
+            ),
         )

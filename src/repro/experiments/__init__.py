@@ -25,9 +25,17 @@ from repro.experiments.presets import (
     fig10_config,
     headline_config,
 )
+from repro.experiments.resilience import (
+    DEFENDED_DEFAULTS,
+    example_fault_plan,
+    run_resilience_sweep,
+)
 from repro.experiments.runner import SharedCalibration, run_scenario
 
 __all__ = [
+    "DEFENDED_DEFAULTS",
+    "example_fault_plan",
+    "run_resilience_sweep",
     "ErrorSummary",
     "summarize_errors",
     "cdf_points",

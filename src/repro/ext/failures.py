@@ -30,11 +30,18 @@ from repro.core.config import CoCoAConfig
 from repro.core.coordinator import Coordinator, SyncPayload
 from repro.core.pdf_table import PdfTable
 from repro.core.team import CoCoATeam
+from repro.faults.spec import FaultPlan
 
 
 @dataclass(frozen=True)
 class FailureSchedule:
-    """Robot deaths to inject: (time_s, node_id) pairs."""
+    """Robot deaths to inject: (time_s, node_id) pairs.
+
+    Entries are sorted and de-duplicated at construction, so the kill
+    events :meth:`ResilientTeam.run` schedules — and therefore the
+    simulation outcome — never depend on the order the caller listed
+    them in.
+    """
 
     failures: Tuple[Tuple[float, int], ...] = ()
 
@@ -48,6 +55,9 @@ class FailureSchedule:
                 raise ValueError(
                     "node id must be non-negative, got %r" % node_id
                 )
+        object.__setattr__(
+            self, "failures", tuple(sorted(set(self.failures)))
+        )
 
     @staticmethod
     def of(*failures: Tuple[float, int]) -> "FailureSchedule":
@@ -110,7 +120,7 @@ class SyncFailover:
         # the candidates are continuously awake) at least one period
         # earlier, so exactly one new Sync robot emerges even when every
         # backup's clock drifted during the outage.
-        if self._coordinator._resync_after is None:
+        if self._coordinator.resync_after is None:
             listened_enough = self.silent_periods >= (
                 self._threshold + self.rank
             )
@@ -159,6 +169,9 @@ class ResilientTeam(CoCoATeam):
         failover: enable the anchors' Sync takeover rule.
         failover_threshold: silent periods before the first backup reacts.
         pdf_table: optional pre-built calibration.
+        faults: optional :class:`~repro.faults.spec.FaultPlan` overriding
+            ``config.faults`` — whole-robot deaths compose with the
+            channel/sensor faults of :mod:`repro.faults`.
     """
 
     def __init__(
@@ -169,6 +182,7 @@ class ResilientTeam(CoCoATeam):
         failover_threshold: int = 3,
         resync_after_silent_periods: Optional[int] = 3,
         pdf_table: Optional[PdfTable] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.schedule = schedule
         self._failover_enabled = failover
@@ -176,12 +190,12 @@ class ResilientTeam(CoCoATeam):
         self._resync_after = resync_after_silent_periods
         self.failovers: Dict[int, SyncFailover] = {}
         self.dead: Set[int] = set()
-        super().__init__(config, pdf_table=pdf_table)
+        super().__init__(config, pdf_table=pdf_table, faults=faults)
         self._wire_failover()
 
     def _build_coordinator(self, *args, **kwargs) -> Coordinator:
         coordinator = super()._build_coordinator(*args, **kwargs)
-        coordinator._resync_after = self._resync_after
+        coordinator.resync_after = self._resync_after
         return coordinator
 
     # -- failover wiring ------------------------------------------------------
@@ -204,22 +218,13 @@ class ResilientTeam(CoCoATeam):
 
     def _hook_anchor(self, node, component: SyncFailover) -> None:
         coordinator = node.coordinator
-        inner_close = coordinator._on_window_close
-        inner_start = coordinator._on_window_start
-
-        def close_with_failover() -> None:
-            if inner_close is not None:
-                inner_close()
-            component.on_window_close()
 
         def start_with_failover() -> None:
-            if inner_start is not None:
-                inner_start()
             if component.is_acting_sync and node.multicast is not None:
                 self._sync_round(node.multicast, coordinator.clock)
 
-        coordinator._on_window_close = close_with_failover
-        coordinator._on_window_start = start_with_failover
+        coordinator.add_window_close_hook(component.on_window_close)
+        coordinator.add_window_start_hook(start_with_failover)
         if node.multicast is not None:
             node.multicast.on_data(
                 lambda body, rp, c=component: (

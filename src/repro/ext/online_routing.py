@@ -338,12 +338,9 @@ class RoutingTeam(CoCoATeam):
         if node.coordinator is None:
             return
         coordinator = node.coordinator
-        inner_start = coordinator._on_window_start
         rng = self.streams.spawn("hello", node.node_id)
 
         def start_with_hello() -> None:
-            if inner_start is not None:
-                inner_start()
             # Jitter the HELLO into the window to dodge the beacon burst.
             self.sim.schedule(
                 float(rng.uniform(0.1, coordinator.window_s * 0.9)),
@@ -353,7 +350,7 @@ class RoutingTeam(CoCoATeam):
                 name="hello-tx",
             )
 
-        coordinator._on_window_start = start_with_hello
+        coordinator.add_window_start_hook(start_with_hello)
 
     def _send_hello(self, node, believed_position) -> None:
         if not node.interface.is_awake:
@@ -397,14 +394,11 @@ class RoutingTeam(CoCoATeam):
         if anchor_node is None or anchor_node.coordinator is None:
             raise RuntimeError("no coordinated node to ride the schedule of")
         coordinator = anchor_node.coordinator
-        inner_start = coordinator._on_window_start
 
         def start_with_traffic() -> None:
-            if inner_start is not None:
-                inner_start()
             self.sim.schedule(delay_s, callback, name="app-traffic")
 
-        coordinator._on_window_start = start_with_traffic
+        coordinator.add_window_start_hook(start_with_traffic)
 
     def routing_stats(self) -> RoutingStats:
         """Team-summed routing counters."""

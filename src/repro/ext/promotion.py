@@ -105,16 +105,13 @@ class PromotionTeam(CoCoATeam):
             position_fn=lambda est=estimator: est.estimate,
         )
         self._promoted_beaconers[node_id] = promoted
-        inner_start = coordinator._on_window_start
 
         def window_start_with_promotion() -> None:
-            if inner_start is not None:
-                inner_start()
             if self._gate_open(estimator):
                 self.promotions += 1
                 promoted.start_window()
 
-        coordinator._on_window_start = window_start_with_promotion
+        coordinator.add_window_start_hook(window_start_with_promotion)
         return coordinator
 
     def _gate_open(self, estimator: PositionEstimator) -> bool:

@@ -1,0 +1,265 @@
+"""Declarative fault and defense specifications.
+
+The specs below are pure data: frozen dataclasses that travel inside
+:class:`~repro.core.config.CoCoAConfig`, hash into the orchestrator's
+content digest, and carry no runtime state.  The runtime machinery that
+interprets them lives in :mod:`repro.faults.models` and
+:mod:`repro.faults.injector`.
+
+Every spec defaults to *disabled*: a default-constructed
+:class:`FaultPlan` is a provable no-op (``is_noop()`` is True and the
+team never constructs an injector), so baseline runs execute exactly the
+unfaulted code path and stay bit-identical to older revisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.util.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+)
+
+
+@dataclass(frozen=True)
+class BurstInterferenceSpec:
+    """Gilbert-Elliott burst interference on the shared channel.
+
+    A two-state continuous-time Markov chain alternates between a GOOD
+    state (the plain lognormal channel) and a BAD state in which each
+    frame is independently lost with ``bad_loss_prob`` and the effective
+    decode margin of surviving frames drops by ``bad_noise_db`` (an
+    elevated noise floor).  Sojourn times are exponential.
+
+    Attributes:
+        mean_good_s: mean sojourn in the GOOD state.
+        mean_bad_s: mean sojourn in the BAD state.
+        bad_loss_prob: per-frame loss probability while BAD.
+        bad_noise_db: noise-floor elevation while BAD (reduces the decode
+            margin; the *measured* RSSI of delivered frames is unchanged).
+    """
+
+    mean_good_s: float = 60.0
+    mean_bad_s: float = 5.0
+    bad_loss_prob: float = 0.0
+    bad_noise_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("mean_good_s", self.mean_good_s)
+        check_positive("mean_bad_s", self.mean_bad_s)
+        check_in_range("bad_loss_prob", self.bad_loss_prob, 0.0, 1.0)
+        check_non_negative("bad_noise_db", self.bad_noise_db)
+
+    @property
+    def enabled(self) -> bool:
+        return self.bad_loss_prob > 0.0 or self.bad_noise_db > 0.0
+
+    def scaled(self, intensity: float) -> "BurstInterferenceSpec":
+        return replace(
+            self,
+            bad_loss_prob=min(self.bad_loss_prob * intensity, 1.0),
+            bad_noise_db=self.bad_noise_db * intensity,
+        )
+
+
+@dataclass(frozen=True)
+class RssiBiasSpec:
+    """Per-radio transmit-power calibration bias and slow drift.
+
+    Violates the PDF-table assumption that every radio transmits at the
+    power the calibration campaign measured: frames from an affected
+    transmitter are measured at ``rssi + bias + sign * drift * minutes``
+    by every receiver, where ``bias`` is a one-time Gaussian draw and
+    the drift ramps linearly with a random sign.  Only the *measured*
+    RSSI is biased; frame decodability depends on the modelled signal
+    power and is unaffected.  Because the offset is systematic per
+    sender, a miscalibrated anchor misleads the whole team — and is
+    detectable by the estimator's fix-residual quarantine.
+
+    Attributes:
+        bias_std_db: sigma of the fixed per-radio calibration offset.
+        drift_db_per_min: magnitude of the slow linear drift.
+        fraction_affected: probability that a given radio is miscalibrated.
+    """
+
+    bias_std_db: float = 0.0
+    drift_db_per_min: float = 0.0
+    fraction_affected: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_non_negative("bias_std_db", self.bias_std_db)
+        check_non_negative("drift_db_per_min", self.drift_db_per_min)
+        check_in_range("fraction_affected", self.fraction_affected, 0.0, 1.0)
+
+    @property
+    def enabled(self) -> bool:
+        return self.fraction_affected > 0.0 and (
+            self.bias_std_db > 0.0 or self.drift_db_per_min > 0.0
+        )
+
+    def scaled(self, intensity: float) -> "RssiBiasSpec":
+        return replace(
+            self,
+            bias_std_db=self.bias_std_db * intensity,
+            drift_db_per_min=self.drift_db_per_min * intensity,
+        )
+
+
+@dataclass(frozen=True)
+class PayloadCorruptionSpec:
+    """Receiver-side beacon payload corruption.
+
+    With probability ``corrupt_prob`` a delivered frame's payload
+    coordinates are damaged by an IEEE-754 bit flip.  With the CRC
+    defense enabled the damaged frame is dropped at the channel; with it
+    disabled the wrong coordinates reach the estimator.
+    """
+
+    corrupt_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_in_range("corrupt_prob", self.corrupt_prob, 0.0, 1.0)
+
+    @property
+    def enabled(self) -> bool:
+        return self.corrupt_prob > 0.0
+
+    def scaled(self, intensity: float) -> "PayloadCorruptionSpec":
+        return replace(
+            self, corrupt_prob=min(self.corrupt_prob * intensity, 1.0)
+        )
+
+
+@dataclass(frozen=True)
+class BrownoutSpec:
+    """Transient radio brownouts: the receiver goes deaf for a window.
+
+    Distinct from ``power_off``: the node keeps running its schedule and
+    keeps transmitting — it simply hears nothing while the brownout
+    lasts, and neither it nor the team is told.  Brownout windows arrive
+    as a Poisson process with exponential durations.
+
+    Attributes:
+        rate_per_hour: mean brownout arrivals per hour per affected node.
+        mean_duration_s: mean deaf-window length.
+        fraction_affected: probability that a given node's radio browns
+            out at all.
+    """
+
+    rate_per_hour: float = 0.0
+    mean_duration_s: float = 10.0
+    fraction_affected: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_non_negative("rate_per_hour", self.rate_per_hour)
+        check_positive("mean_duration_s", self.mean_duration_s)
+        check_in_range("fraction_affected", self.fraction_affected, 0.0, 1.0)
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate_per_hour > 0.0 and self.fraction_affected > 0.0
+
+    def scaled(self, intensity: float) -> "BrownoutSpec":
+        return replace(self, rate_per_hour=self.rate_per_hour * intensity)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full fault configuration of a scenario.
+
+    Attributes:
+        burst: channel-wide burst interference.
+        rssi_bias: per-radio calibration bias/drift.
+        corruption: payload corruption.
+        brownout: transient receiver deafness.
+        node_ids: restrict node-scoped faults (bias, corruption,
+            brownout) to these ids; ``None`` means every node is a
+            candidate (the per-spec ``fraction_affected`` still applies).
+    """
+
+    burst: BurstInterferenceSpec = BurstInterferenceSpec()
+    rssi_bias: RssiBiasSpec = RssiBiasSpec()
+    corruption: PayloadCorruptionSpec = PayloadCorruptionSpec()
+    brownout: BrownoutSpec = BrownoutSpec()
+    node_ids: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.node_ids is not None:
+            object.__setattr__(
+                self, "node_ids", tuple(sorted(set(self.node_ids)))
+            )
+            for node_id in self.node_ids:
+                if node_id < 0:
+                    raise ValueError(
+                        "node id must be non-negative, got %r" % node_id
+                    )
+
+    def is_noop(self) -> bool:
+        """True when no fault model can ever fire."""
+        return not (
+            self.burst.enabled
+            or self.rssi_bias.enabled
+            or self.corruption.enabled
+            or self.brownout.enabled
+        )
+
+    def scaled(self, intensity: float) -> "FaultPlan":
+        """Scale every fault magnitude by ``intensity`` (0 = no-op)."""
+        check_non_negative("intensity", intensity)
+        return replace(
+            self,
+            burst=self.burst.scaled(intensity),
+            rssi_bias=self.rssi_bias.scaled(intensity),
+            corruption=self.corruption.scaled(intensity),
+            brownout=self.brownout.scaled(intensity),
+        )
+
+    def targets(self, node_id: int) -> bool:
+        """May node-scoped faults touch this node at all?"""
+        return self.node_ids is None or node_id in self.node_ids
+
+
+@dataclass(frozen=True)
+class DefenseConfig:
+    """Graceful-degradation defenses; all default off.
+
+    Attributes:
+        crc_check: verify payload checksums at the channel and drop
+            damaged frames instead of delivering wrong coordinates.
+        beacon_gate_sigma: if > 0, the estimator rejects beacons whose
+            claimed position is geometrically inconsistent with the
+            current estimate by more than this many PDF-table sigmas
+            (plus the last fix spread and ``beacon_gate_slack_m``).
+        beacon_gate_slack_m: additive slack of the beacon gate, covering
+            robot motion since the last fix.
+        watchdog: detect posterior degeneracy (non-normalizable mass or
+            entropy collapse after constraint annihilation) at window
+            close and reset to the prior instead of adopting a junk fix.
+        anchor_expiry_s: if > 0, anchors that repeatedly disagree with
+            the estimator (gated beacons, large fix residuals) are
+            quarantined, and their suspicion decays with this time
+            constant, so a drifted anchor's influence expires instead
+            of persisting — and a recovered anchor is re-admitted.
+    """
+
+    crc_check: bool = False
+    beacon_gate_sigma: float = 0.0
+    beacon_gate_slack_m: float = 10.0
+    watchdog: bool = False
+    anchor_expiry_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_non_negative("beacon_gate_sigma", self.beacon_gate_sigma)
+        check_non_negative("beacon_gate_slack_m", self.beacon_gate_slack_m)
+        check_non_negative("anchor_expiry_s", self.anchor_expiry_s)
+
+    def is_noop(self) -> bool:
+        return not (
+            self.crc_check
+            or self.beacon_gate_sigma > 0.0
+            or self.watchdog
+            or self.anchor_expiry_s > 0.0
+        )

@@ -60,7 +60,11 @@ class _NodeEntry:
 
 @dataclass
 class ChannelStats:
-    """Counters the energy/efficiency analyses read after a run."""
+    """Counters the energy/efficiency analyses read after a run.
+
+    The last four counters only move when a
+    :class:`~repro.faults.injector.FaultInjector` is installed.
+    """
 
     frames_sent: int = 0
     frames_delivered: int = 0
@@ -68,6 +72,10 @@ class ChannelStats:
     frames_collided: int = 0
     frames_missed_asleep: int = 0
     frames_missed_half_duplex: int = 0
+    frames_jammed: int = 0
+    frames_missed_brownout: int = 0
+    frames_corrupted: int = 0
+    frames_crc_dropped: int = 0
 
 
 class BroadcastChannel:
@@ -102,7 +110,19 @@ class BroadcastChannel:
         self._nodes: Dict[int, _NodeEntry] = {}
         self._transmissions: List[Transmission] = []
         self._trace = trace if trace is not None else TraceLog()
+        self._faults = None
         self.stats = ChannelStats()
+
+    def install_faults(self, injector) -> None:
+        """Attach a :class:`~repro.faults.injector.FaultInjector`.
+
+        The channel consults it at its two decision points: frame offer
+        (burst jamming / noise-floor elevation before the decode check)
+        and frame delivery (payload corruption, CRC verdict, and the
+        receiver's reported RSSI).  Without an injector none of these
+        paths execute.
+        """
+        self._faults = injector
 
     @property
     def path_loss(self) -> PathLossModel:
@@ -196,13 +216,25 @@ class BroadcastChannel:
         if not receiver.radio.is_awake:
             self.stats.frames_missed_asleep += 1
             return
+        if receiver.radio.reception_impaired:
+            self.stats.frames_missed_brownout += 1
+            return
         if receiver.radio.is_transmitting:
             self.stats.frames_missed_half_duplex += 1
             return
         position = receiver.mobility.position(self._sim.now)
         distance = max(position.distance_to(tx.src_position), 1.0)
         rssi = float(self._path_loss.sample_rssi(distance, self._rng))
-        if not receiver.receiver.can_decode(rssi):
+        effective_rssi = rssi
+        if self._faults is not None:
+            offered = self._faults.offer_rssi(
+                self._sim.now, tx.src, receiver.node_id, rssi
+            )
+            if offered is None:
+                self.stats.frames_jammed += 1
+                return
+            effective_rssi = offered
+        if not receiver.receiver.can_decode(effective_rssi):
             self.stats.frames_below_sensitivity += 1
             return
         receiver.radio.begin_receive(airtime)
@@ -222,6 +254,10 @@ class BroadcastChannel:
             # Slept mid-frame (coordination closed the window).
             self.stats.frames_missed_asleep += 1
             return
+        if receiver.radio.reception_impaired:
+            # Browned out mid-frame.
+            self.stats.frames_missed_brownout += 1
+            return
         if self._transmitted_during(receiver_id, tx.start, tx.end):
             self.stats.frames_missed_half_duplex += 1
             return
@@ -239,18 +275,30 @@ class BroadcastChannel:
                 )
                 return
         receiver.radio.meter.charge_recv(tx.packet.size_bytes)
+        packet = tx.packet
+        if self._faults is not None:
+            damaged = self._faults.maybe_corrupt(now, receiver_id, packet)
+            if damaged is not None:
+                if self._faults.crc_check:
+                    # The frame was received (and paid for) but fails its
+                    # checksum; the link layer drops it silently.
+                    self.stats.frames_crc_dropped += 1
+                    return
+                packet = damaged
+                self.stats.frames_corrupted += 1
+            rssi = self._faults.reported_rssi(now, tx.src, rssi)
         self.stats.frames_delivered += 1
         self._trace.emit(
             now,
             "channel.rx",
             receiver_id,
-            kind=tx.packet.kind,
-            uid=tx.packet.uid,
+            kind=packet.kind,
+            uid=packet.uid,
             rssi=rssi,
         )
         receiver.on_receive(
             ReceivedPacket(
-                packet=tx.packet,
+                packet=packet,
                 rssi_dbm=rssi,
                 receive_time=now,
                 receiver=receiver_id,

@@ -7,7 +7,9 @@ typed payload whose wire size the payload class declares.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -17,6 +19,17 @@ IP_HEADER_BYTES = 20
 UDP_HEADER_BYTES = 20
 
 _packet_ids = itertools.count(1)
+
+
+def payload_checksum(payload: Any) -> int:
+    """CRC-32 of a payload's canonical text form.
+
+    Payloads are frozen dataclasses (or other objects with deterministic
+    ``repr``), so the checksum is stable across processes.  It stands in
+    for the frame check sequence a real link layer computes over the
+    serialized bytes.
+    """
+    return zlib.crc32(repr(payload).encode("utf-8")) & 0xFFFFFFFF
 
 
 @dataclass(frozen=True)
@@ -35,6 +48,8 @@ class Packet:
             copies of a flooded packet share the originator's ``origin_uid``.
         origin_uid: id of the original packet for duplicate suppression in
             flooding protocols; defaults to ``uid``.
+        payload_crc: CRC-32 over the payload, computed at send time; a
+            payload damaged in flight no longer matches it (``crc_ok``).
     """
 
     src: int
@@ -44,6 +59,7 @@ class Packet:
     ttl: int = 1
     uid: int = field(default_factory=lambda: next(_packet_ids))
     origin_uid: Optional[int] = None
+    payload_crc: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.payload_bytes < 0:
@@ -55,6 +71,20 @@ class Packet:
             raise ValueError("ttl must be non-negative, got %r" % self.ttl)
         if self.origin_uid is None:
             object.__setattr__(self, "origin_uid", self.uid)
+        if self.payload_crc is None:
+            object.__setattr__(
+                self, "payload_crc", payload_checksum(self.payload)
+            )
+
+    @property
+    def crc_ok(self) -> bool:
+        """Does the stored checksum still match the payload?"""
+        return self.payload_crc == payload_checksum(self.payload)
+
+    def damaged_copy(self, damaged_payload: Any) -> "Packet":
+        """A copy carrying ``damaged_payload`` but the *original* CRC —
+        what a receiver sees after in-flight corruption."""
+        return dataclasses.replace(self, payload=damaged_payload)
 
     @property
     def size_bytes(self) -> int:

@@ -18,7 +18,7 @@ State semantics follow the coordination design of §2.3:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.energy.meter import EnergyMeter
 from repro.energy.model import RadioState
@@ -51,6 +51,7 @@ class Radio:
         self._state_since = sim.now
         self._busy_until = sim.now
         self._end_event: Optional[Event] = None
+        self._receive_fault: Optional[Callable[[float], bool]] = None
 
     @property
     def state(self) -> RadioState:
@@ -64,6 +65,24 @@ class Radio:
     def is_awake(self) -> bool:
         """True when the radio can participate in communication."""
         return self._state in (RadioState.IDLE, RadioState.TX, RadioState.RX)
+
+    def set_receive_fault(self, gate: Callable[[float], bool]) -> None:
+        """Install a reception-fault gate (brownout injection).
+
+        ``gate(now)`` returning True means the receive chain is deaf at
+        that instant.  The node is not told: it keeps its schedule, keeps
+        transmitting, and keeps paying energy for whatever state it is
+        in — only decoding is suppressed (by the channel, which checks
+        :attr:`reception_impaired` at offer and delivery time).
+        """
+        self._receive_fault = gate
+
+    @property
+    def reception_impaired(self) -> bool:
+        """True while an injected fault keeps the receiver deaf."""
+        return self._receive_fault is not None and self._receive_fault(
+            self._sim.now
+        )
 
     @property
     def is_transmitting(self) -> bool:

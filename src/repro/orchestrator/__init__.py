@@ -19,6 +19,7 @@ from repro.orchestrator.cache import CacheStats, ResultCache
 from repro.orchestrator.executor import (
     ProcessPoolBackend,
     SerialBackend,
+    SweepExecutionError,
     SweepOutcome,
     run_sweep,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "ProgressPrinter",
     "ResultCache",
     "SerialBackend",
+    "SweepExecutionError",
     "SweepJob",
     "SweepOutcome",
     "SweepReport",

@@ -21,10 +21,13 @@ which the regression suite enforces.
 
 from __future__ import annotations
 
+import random
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.team import TeamResult
 from repro.experiments.runner import (
@@ -41,6 +44,10 @@ from repro.orchestrator.progress import (
 )
 
 IndexedJob = Tuple[int, SweepJob]
+
+
+class SweepExecutionError(RuntimeError):
+    """A job kept failing after every allowed attempt."""
 
 
 def _timed_run(job: SweepJob) -> Tuple[TeamResult, float]:
@@ -76,46 +83,184 @@ class SerialBackend:
 
     def execute(
         self, pending: Sequence[IndexedJob]
-    ) -> Iterator[Tuple[int, TeamResult, float]]:
+    ) -> Iterator[Tuple[int, TeamResult, float, int]]:
         for index, job in pending:
             start = time.perf_counter()
             result = run_scenario(job.config, calibration=self.calibration)
-            yield index, result, time.perf_counter() - start
+            yield index, result, time.perf_counter() - start, 1
 
 
 class ProcessPoolBackend:
-    """Fan jobs out over a ``ProcessPoolExecutor``.
+    """Fan jobs out over a ``ProcessPoolExecutor``, surviving worker
+    failures.
 
     Results are yielded as they complete (the caller restores job order);
-    each worker process rebuilds its own calibration tables.
+    each worker process rebuilds its own calibration tables.  Three
+    hardening layers wrap the happy path:
+
+    - **retry with backoff**: a job whose attempt raises is resubmitted
+      up to ``max_attempts`` times, sleeping an exponentially growing,
+      jittered interval between attempts (the jitter draws from a
+      dedicated seeded PRNG, so scheduling noise never touches any
+      simulation stream);
+    - **per-job timeout**: an attempt running longer than ``timeout_s``
+      is charged a failure and its pool is torn down (terminating the
+      stuck worker) and respawned;
+    - **broken-pool recovery**: when a worker dies (OOM kill, segfault,
+      interpreter crash) the ``BrokenProcessPool`` is discarded, the
+      attempt that died is charged a failure, and every *other* in-flight
+      job is resubmitted to a fresh pool without being charged.
+
+    A job that fails ``max_attempts`` times raises
+    :class:`SweepExecutionError` — a sweep never silently drops a point.
 
     Args:
         n_workers: worker process count (>= 1).
+        timeout_s: per-attempt wall-clock limit (``None`` = unlimited).
+        max_attempts: attempts per job before the sweep aborts.
+        backoff_base_s: first retry delay; doubles per failure.
+        backoff_max_s: retry delay ceiling.
+        backoff_seed: seed of the jitter PRNG (kept deterministic so
+            retried sweeps behave reproducibly under test).
+        task: the callable shipped to workers; injectable for tests.
     """
 
-    def __init__(self, n_workers: int) -> None:
+    def __init__(
+        self,
+        n_workers: int,
+        timeout_s: Optional[float] = None,
+        max_attempts: int = 3,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+        backoff_seed: int = 0,
+        task: Optional[Callable] = None,
+    ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1, got %d" % n_workers)
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive, got %r" % timeout_s)
+        if max_attempts < 1:
+            raise ValueError(
+                "max_attempts must be >= 1, got %d" % max_attempts
+            )
         self.n_workers = n_workers
+        self.timeout_s = timeout_s
+        self.max_attempts = max_attempts
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self.backoff_seed = backoff_seed
+        self._task = task if task is not None else _timed_run
+
+    def _new_pool(self, n_pending: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=min(self.n_workers, n_pending),
+            initializer=_worker_init,
+        )
+
+    def _backoff_s(self, failures: int, rng: random.Random) -> float:
+        delay = self.backoff_base_s * (2.0 ** max(failures - 1, 0))
+        return min(delay, self.backoff_max_s) * (0.5 + rng.random())
+
+    @staticmethod
+    def _terminate(pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down hard, killing any stuck workers."""
+        processes = list(getattr(pool, "_processes", {}).values())
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
 
     def execute(
         self, pending: Sequence[IndexedJob]
-    ) -> Iterator[Tuple[int, TeamResult, float]]:
+    ) -> Iterator[Tuple[int, TeamResult, float, int]]:
         if not pending:
             return
-        with ProcessPoolExecutor(
-            max_workers=min(self.n_workers, len(pending)),
-            initializer=_worker_init,
-        ) as pool:
-            futures = {
-                pool.submit(_timed_run, job): index for index, job in pending
-            }
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+        jobs = dict(pending)
+        queue = deque(index for index, _ in pending)
+        attempts = {index: 0 for index, _ in pending}
+        failures = {index: 0 for index, _ in pending}
+        rng = random.Random(self.backoff_seed)
+        pool = self._new_pool(len(pending))
+        futures: Dict[object, int] = {}
+        deadlines: Dict[object, float] = {}
+
+        def fail(index: int, cause: Optional[BaseException]) -> None:
+            """Charge one failure; abort the sweep past the budget."""
+            failures[index] += 1
+            if failures[index] >= self.max_attempts:
+                raise SweepExecutionError(
+                    "job %r failed %d time%s%s"
+                    % (
+                        jobs[index].name,
+                        failures[index],
+                        "" if failures[index] == 1 else "s",
+                        ": %s" % cause if cause is not None else "",
+                    )
+                ) from cause
+            time.sleep(self._backoff_s(failures[index], rng))
+            queue.append(index)
+
+        try:
+            while queue or futures:
+                while queue:
+                    index = queue.popleft()
+                    attempts[index] += 1
+                    future = pool.submit(self._task, jobs[index])
+                    futures[future] = index
+                    if self.timeout_s is not None:
+                        deadlines[future] = time.monotonic() + self.timeout_s
+
+                wait_s = None
+                if deadlines:
+                    wait_s = max(
+                        min(deadlines.values()) - time.monotonic(), 0.0
+                    )
+                done, _ = wait(
+                    set(futures), timeout=wait_s, return_when=FIRST_COMPLETED
+                )
+
+                pool_broken = False
                 for future in done:
-                    result, wall_s = future.result()
-                    yield futures[future], result, wall_s
+                    index = futures.pop(future)
+                    deadlines.pop(future, None)
+                    try:
+                        result, wall_s = future.result()
+                    except BrokenProcessPool as error:
+                        # The attempt that rode the dying worker is
+                        # charged; innocent in-flight jobs are not.
+                        pool_broken = True
+                        fail(index, error)
+                    except Exception as error:
+                        fail(index, error)
+                    else:
+                        yield index, result, wall_s, attempts[index]
+
+                now = time.monotonic()
+                expired = [
+                    future
+                    for future, deadline in deadlines.items()
+                    if deadline <= now and future in futures
+                ]
+                if expired or pool_broken:
+                    # Either path invalidates the pool: stuck workers
+                    # must be killed, dead pools cannot take new work.
+                    # Requeue the in-flight survivors uncharged.
+                    for future in expired:
+                        fail(futures[future], None)
+                    for future, index in list(futures.items()):
+                        if index not in queue:
+                            queue.append(index)
+                    futures.clear()
+                    deadlines.clear()
+                    self._terminate(pool)
+                    pool = self._new_pool(max(len(queue), 1))
+        finally:
+            self._terminate(pool)
 
 
 @dataclass
@@ -149,6 +294,8 @@ def run_sweep(
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressListener] = None,
     calibration: Optional[SharedCalibration] = None,
+    timeout_s: Optional[float] = None,
+    max_attempts: int = 3,
 ) -> SweepOutcome:
     """Execute a sweep, returning results in deterministic job order.
 
@@ -163,11 +310,17 @@ def run_sweep(
         progress: optional listener for per-job progress and ETA.
         calibration: shared calibration for the serial backend (worker
             processes always rebuild their own).
+        timeout_s: per-attempt wall-clock limit for pool workers
+            (ignored for the serial backend and explicit ``backend``).
+        max_attempts: attempts per job before the sweep aborts (pool
+            backend only).
     """
     jobs = list(jobs)
     if backend is None:
         backend = (
-            ProcessPoolBackend(n_jobs)
+            ProcessPoolBackend(
+                n_jobs, timeout_s=timeout_s, max_attempts=max_attempts
+            )
             if n_jobs > 1
             else SerialBackend(calibration=calibration)
         )
@@ -203,18 +356,26 @@ def run_sweep(
         if cached is not None:
             results[index] = cached
             hits += 1
-            finish(index, JobRecord(name=job.name, wall_s=0.0, cached=True))
+            finish(
+                index,
+                JobRecord(name=job.name, wall_s=0.0, cached=True, attempts=0),
+            )
         else:
             pending.append((index, job))
 
-    for index, result, wall_s in backend.execute(pending):
+    for index, result, wall_s, attempts in backend.execute(pending):
         job = jobs[index]
         results[index] = result
         if cache is not None:
             cache.put(job.fingerprint, result, job_name=job.name,
                       wall_s=wall_s)
         executed_walls.append(wall_s)
-        finish(index, JobRecord(name=job.name, wall_s=wall_s, cached=False))
+        finish(
+            index,
+            JobRecord(
+                name=job.name, wall_s=wall_s, cached=False, attempts=attempts
+            ),
+        )
 
     report = SweepReport(
         records=[r for r in records if r is not None],

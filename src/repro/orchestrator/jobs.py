@@ -26,7 +26,7 @@ from repro.core.config import CoCoAConfig
 #: Bump whenever a change anywhere in the simulator alters the metrics a
 #: given config produces; cached results from older versions are then
 #: ignored (they live under a different cache partition).
-CODE_VERSION = "2026.08"
+CODE_VERSION = "2026.08.1"
 
 
 def _canonical(value: object) -> object:

@@ -23,11 +23,15 @@ class JobRecord:
         name: the job's label.
         wall_s: execution wall-clock seconds (0.0 for cache hits).
         cached: True if the result came from the cache.
+        attempts: times the job was submitted to a worker before the
+            result landed (0 for cache hits, 1 for a clean run, more
+            after retries, timeouts or pool crashes).
     """
 
     name: str
     wall_s: float
     cached: bool
+    attempts: int = 1
 
 
 @dataclass
@@ -50,6 +54,11 @@ class SweepReport:
         return sum(1 for r in self.records if not r.cached)
 
     @property
+    def n_retried(self) -> int:
+        """Jobs that needed more than one submission."""
+        return sum(1 for r in self.records if r.attempts > 1)
+
+    @property
     def executed_wall_s(self) -> float:
         """Summed per-job wall time (CPU-side cost, ignores overlap)."""
         return sum(r.wall_s for r in self.records if not r.cached)
@@ -69,6 +78,8 @@ class SweepReport:
             "%d cached" % self.cache_hits,
             "wall %.1fs" % self.total_wall_s,
         ]
+        if self.n_retried:
+            parts.append("%d retried" % self.n_retried)
         if self.n_workers > 1:
             parts.append(
                 "%d workers (%.1fx speedup)" % (self.n_workers, self.speedup)

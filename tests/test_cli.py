@@ -174,3 +174,26 @@ class TestCalibrateCommand:
         assert code == 0
         assert "bins:" in output
         assert "gaussian" in output
+
+
+class TestResilienceCommand:
+    def test_small_resilience_sweep(self):
+        code, output = run_cli([
+            "resilience", "--robots", "12", "--anchors", "6",
+            "--period", "30", "--duration", "65", "--area", "100",
+            "--seed", "3", "--intensities", "0,1",
+        ])
+        assert code == 0
+        assert "undefended (m)" in output
+        assert "defended (m)" in output
+        # One table row per requested intensity.
+        assert "\n0 " in output and "\n1 " in output
+
+    def test_bad_intensity_list_rejected(self):
+        code, output = run_cli(["resilience", "--intensities", "a,b"])
+        assert code == 2
+        assert "invalid" in output
+
+    def test_empty_intensity_list_rejected(self):
+        code, output = run_cli(["resilience", "--intensities", ","])
+        assert code == 2

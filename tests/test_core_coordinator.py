@@ -159,6 +159,30 @@ class TestCoordinatorSchedule:
                 window_s=3.0, guard_s=-1.0,
             )
 
+    def test_window_hooks_fire_after_primary_callbacks(self):
+        sim, interface, coordinator, events = self.make()
+        coordinator.add_window_start_hook(
+            lambda: events.append(("hook-start", sim.now))
+        )
+        coordinator.add_window_close_hook(
+            lambda: events.append(("hook-close", sim.now))
+        )
+        coordinator.start()
+        sim.run(until=5.0)
+        assert events.index(("start", 0.0)) < events.index(
+            ("hook-start", 0.0)
+        )
+        closes = [t for name, t in events if name == "hook-close"]
+        assert closes == [pytest.approx(3.0)]
+
+    def test_hooks_run_in_registration_order(self):
+        sim, interface, coordinator, events = self.make()
+        coordinator.add_window_start_hook(lambda: events.append(("h1", 0)))
+        coordinator.add_window_start_hook(lambda: events.append(("h2", 0)))
+        coordinator.start()
+        sim.run(until=0.5)
+        assert events.index(("h1", 0)) < events.index(("h2", 0))
+
 
 class TestAnchorBeaconer:
     def test_sends_k_beacons_in_window(self):

@@ -85,6 +85,13 @@ class TestFailureSchedule:
         with pytest.raises(ValueError):
             FailureSchedule.of((1.0, -2))
 
+    def test_sorted_and_deduplicated(self):
+        """Entry order never matters and duplicates collapse, so two
+        differently-written schedules hash and execute identically."""
+        a = FailureSchedule.of((20.0, 2), (10.0, 1), (20.0, 2))
+        b = FailureSchedule.of((10.0, 1), (20.0, 2), (10.0, 1))
+        assert a.failures == b.failures == ((10.0, 1), (20.0, 2))
+
 
 class TestFailureInjection:
     def test_dead_robot_stops_consuming_and_reporting(self, pdf_table):

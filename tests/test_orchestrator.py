@@ -287,3 +287,110 @@ class TestDeterminismGuard:
         for a, b in zip(serial.results, warm.results):
             assert a.errors.tolist() == b.errors.tolist()
             assert a.total_energy_j() == b.total_energy_j()
+
+
+# -- executor hardening -------------------------------------------------------
+#
+# The tasks below are injected via ProcessPoolBackend's ``task`` hook; they
+# must live at module level so worker processes can unpickle them.  Jobs
+# carry a scratch directory in their ``key`` so a task can leave a marker
+# for "already failed once" across worker processes.
+
+
+def _marker_path(job):
+    return os.path.join(job.key, "marker-%s" % job.name)
+
+
+def _echo_task(job):
+    return "ok:%s" % job.name, 0.01
+
+
+def _crash_once_task(job):
+    path = _marker_path(job)
+    if not os.path.exists(path):
+        open(path, "w").close()
+        os._exit(17)  # hard worker death -> BrokenProcessPool
+    return "ok:%s" % job.name, 0.01
+
+
+def _raise_once_task(job):
+    path = _marker_path(job)
+    if not os.path.exists(path):
+        open(path, "w").close()
+        raise ValueError("transient")
+    return "ok:%s" % job.name, 0.01
+
+
+def _always_raise_task(job):
+    raise ValueError("permanent")
+
+
+def _hang_once_task(job):
+    import time as _time
+
+    path = _marker_path(job)
+    if not os.path.exists(path):
+        open(path, "w").close()
+        _time.sleep(60.0)
+    return "ok:%s" % job.name, 0.01
+
+
+class TestExecutorHardening:
+    def _pending(self, tmp_path, names=("j0",)):
+        return [
+            (index, SweepJob(config=tiny_config(), name=name,
+                             key=str(tmp_path)))
+            for index, name in enumerate(names)
+        ]
+
+    def _backend(self, n_workers=1, task=_echo_task, **kwargs):
+        kwargs.setdefault("backoff_base_s", 0.001)
+        return ProcessPoolBackend(n_workers, task=task, **kwargs)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(2, timeout_s=0.0)
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(2, max_attempts=0)
+
+    def test_happy_path_single_attempt(self, tmp_path):
+        backend = self._backend()
+        out = list(backend.execute(self._pending(tmp_path, ("a", "b"))))
+        assert sorted(out) == [
+            (0, "ok:a", 0.01, 1),
+            (1, "ok:b", 0.01, 1),
+        ]
+
+    def test_worker_crash_recovers_and_charges_one_attempt(self, tmp_path):
+        backend = self._backend(task=_crash_once_task)
+        out = list(backend.execute(self._pending(tmp_path)))
+        assert out == [(0, "ok:j0", 0.01, 2)]
+
+    def test_transient_exception_retried_with_backoff(self, tmp_path):
+        backend = self._backend(task=_raise_once_task)
+        out = list(backend.execute(self._pending(tmp_path)))
+        assert out == [(0, "ok:j0", 0.01, 2)]
+
+    def test_permanent_failure_aborts_with_job_name(self, tmp_path):
+        from repro.orchestrator.executor import SweepExecutionError
+
+        backend = self._backend(task=_always_raise_task, max_attempts=2)
+        with pytest.raises(SweepExecutionError, match="j0"):
+            list(backend.execute(self._pending(tmp_path)))
+
+    def test_stuck_worker_times_out_and_job_retries(self, tmp_path):
+        backend = self._backend(task=_hang_once_task, timeout_s=1.0)
+        out = list(backend.execute(self._pending(tmp_path)))
+        assert out == [(0, "ok:j0", 0.01, 2)]
+
+    def test_run_sweep_reports_retries(self, tmp_path):
+        backend = self._backend(n_workers=2, task=_raise_once_task)
+        jobs = [
+            SweepJob(config=tiny_config(), name=n, key=str(tmp_path))
+            for n in ("a", "b")
+        ]
+        outcome = run_sweep(jobs, backend=backend)
+        assert outcome.results == ["ok:a", "ok:b"]
+        assert outcome.report.n_retried == 2
+        assert [r.attempts for r in outcome.report.records] == [2, 2]
+        assert "retried" in outcome.report.format_summary()

@@ -295,3 +295,48 @@ class TestMobilityProperties:
         )
         for t in range(0, 600, 23):
             assert mob.speed(float(t)) <= v_max + 1e-9
+
+
+class TestWatchdogProperties:
+    """However a round's evidence breaks the posterior, the watchdog
+    must leave behind a normalized distribution and an unchanged
+    estimate — never a junk fix."""
+
+    @given(
+        poison=st.one_of(
+            st.sampled_from([0.0, float("inf"), float("nan"), -1.0]),
+            st.floats(min_value=1e-12, max_value=1e9),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_watchdog_restores_normalized_posterior(self, poison, pdf_table):
+        from repro.core.config import LocalizationMode
+        from repro.core.estimator import PositionEstimator
+
+        est = PositionEstimator(
+            LocalizationMode.RF_ONLY,
+            Rect.square(100.0),
+            pdf_table=pdf_table,
+            min_beacons_for_fix=1,
+            watchdog=True,
+        )
+        before = est.estimate
+        est.on_window_open()
+        est.filter._posterior.fill(poison)
+        degenerate = est.filter.is_degenerate()
+        est.on_window_close()
+        if degenerate:
+            assert est.watchdog_resets == 1
+            assert est.fixes == 0
+            assert est.estimate == before
+            posterior = est.filter.posterior
+            assert np.isfinite(posterior).all()
+            assert float(posterior.sum()) == pytest_approx(1.0)
+            # The reset is the uniform prior, not some other salvage.
+            assert float(posterior.max()) == pytest_approx(
+                float(posterior.min())
+            )
+        else:
+            # A uniform fill that happens to normalize is a legitimate
+            # (if uninformative) distribution; no reset, no crash.
+            assert est.watchdog_resets == 0
