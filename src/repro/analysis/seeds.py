@@ -69,6 +69,7 @@ def run_seed_sweep(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressListener] = None,
+    telemetry_path: Optional[str] = None,
 ) -> SeedSweepResult:
     """Run ``config`` under each seed and aggregate the metrics.
 
@@ -86,6 +87,8 @@ def run_seed_sweep(
         jobs: worker processes (1 = in-process serial execution).
         cache: optional content-addressed result cache.
         progress: optional per-job progress listener.
+        telemetry_path: when set, executed jobs run with rich telemetry
+            and the per-job snapshots are written to this JSONL path.
 
     Raises:
         ValueError: with fewer than two seeds.
@@ -98,11 +101,12 @@ def run_seed_sweep(
         )
     cal = calibration if calibration is not None else SharedCalibration()
     outcome = run_sweep(
-        seed_jobs(config, seeds),
+        seed_jobs(config, seeds, telemetry=telemetry_path is not None),
         n_jobs=jobs,
         cache=cache,
         progress=progress,
         calibration=cal,
+        telemetry_path=telemetry_path,
     )
     errors: List[float] = []
     energies: List[float] = []

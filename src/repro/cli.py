@@ -7,13 +7,17 @@ Usage (installed package):
     python -m repro figure fig9 --duration 600 --jobs 4 --cache
     python -m repro sweep --num-seeds 8 --jobs 4 --duration 600
     python -m repro resilience --duration 600 --jobs 4
+    python -m repro report --cache-dir .repro_cache
     python -m repro calibrate
 
 Every command prints plain-text tables; nothing is plotted, so the tool
 works in any terminal and its output can be diffed in CI.  ``sweep`` and
 ``figure`` accept ``--jobs N`` to fan independent scenario runs out over
 worker processes and ``--cache`` to memoize finished runs on disk under
-``.repro_cache/`` (wipe with ``--clear-cache``).
+``.repro_cache/`` (wipe with ``--clear-cache``).  All sweep-style
+commands accept ``--telemetry out.jsonl`` to run with rich telemetry and
+dump per-job metric snapshots; ``repro report`` renders the
+per-subsystem summary of a cached sweep or such a JSONL dump.
 """
 
 from __future__ import annotations
@@ -81,6 +85,9 @@ def _add_orchestration_args(parser: argparse.ArgumentParser) -> None:
                         help="result cache directory (implies --cache)")
     parser.add_argument("--clear-cache", action="store_true",
                         help="wipe the result cache before running")
+    parser.add_argument("--telemetry", metavar="PATH", default=None,
+                        help="run with rich telemetry and write per-job "
+                             "snapshots to this JSONL file")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -136,6 +143,21 @@ def build_parser() -> argparse.ArgumentParser:
     resilience.add_argument("--intensities", default="0,0.5,1",
                             help="comma-separated fault intensities")
     _add_orchestration_args(resilience)
+
+    report = sub.add_parser(
+        "report",
+        help="render the per-subsystem telemetry summary of past runs",
+    )
+    source = report.add_mutually_exclusive_group()
+    source.add_argument("--from", dest="from_path", metavar="PATH",
+                        default=None,
+                        help="read job snapshots from a --telemetry JSONL "
+                             "file instead of the result cache")
+    source.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="result cache to summarize")
+    report.add_argument("--prometheus", action="store_true",
+                        help="emit Prometheus exposition text instead of "
+                             "the human-readable report")
 
     calibrate = sub.add_parser(
         "calibrate", help="run the offline calibration and print the table"
@@ -227,7 +249,9 @@ def cmd_figure(args: argparse.Namespace, out) -> int:
 
     cal = SharedCalibration()
     cache = _cache_from_args(args)
-    sweep_kw = dict(jobs=args.jobs, cache=cache)
+    sweep_kw = dict(
+        jobs=args.jobs, cache=cache, telemetry_path=args.telemetry
+    )
     name = args.name
     duration = args.duration
     seed = args.seed
@@ -347,6 +371,7 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
         jobs=args.jobs,
         cache=cache,
         progress=ProgressPrinter(out=out),
+        telemetry_path=args.telemetry,
     )
     print("", file=out)
     print("%-8s %-14s %-14s" % ("seed", "avg error (m)", "energy (J)"),
@@ -391,6 +416,7 @@ def cmd_resilience(args: argparse.Namespace, out) -> int:
         jobs=args.jobs,
         cache=cache,
         progress=ProgressPrinter(out=out),
+        telemetry_path=args.telemetry,
     )
     print("", file=out)
     print("%-10s %-16s %-16s %s"
@@ -406,6 +432,62 @@ def cmd_resilience(args: argparse.Namespace, out) -> int:
                  cells["defended"]["beacons_quarantined"],
                  cells["defended"]["watchdog_resets"]), file=out)
     _print_cache_summary(cache, out)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace, out) -> int:
+    from repro.telemetry import (
+        TelemetrySnapshot,
+        merge_snapshots,
+        prometheus_text,
+        read_jsonl,
+        render_report,
+    )
+
+    snapshots = []
+    sweep = None
+    if args.from_path is not None:
+        try:
+            records = read_jsonl(args.from_path)
+        except OSError as exc:
+            print("cannot read %s: %s" % (args.from_path, exc), file=out)
+            return 2
+        for record in records:
+            kind = record.get("record")
+            if kind == "job" and isinstance(record.get("metrics"), dict):
+                snapshots.append(TelemetrySnapshot.from_mapping(
+                    record["metrics"],
+                    n_runs=int(record.get("n_runs", 1)),
+                ))
+            elif kind == "sweep":
+                sweep = record  # newest wins; files are append-ordered
+        title = "telemetry report — %s" % args.from_path
+    else:
+        # Cached TeamResults carry their base snapshot, so a report over
+        # a finished sweep needs no re-simulation.
+        cache = ResultCache(root=args.cache_dir)
+        seen = set()
+        for entry in cache.entries():
+            if entry.fingerprint in seen:
+                continue
+            seen.add(entry.fingerprint)
+            result = cache.get(entry.fingerprint)
+            snapshot = getattr(result, "telemetry", None)
+            if snapshot is not None:
+                snapshots.append(snapshot)
+        sweeps = cache.sweep_records()
+        if sweeps:
+            sweep = sweeps[-1]
+        title = "telemetry report — cache %s" % cache.root
+    if not snapshots:
+        print("no telemetry snapshots found (run a sweep with --cache, "
+              "or a --telemetry JSONL)", file=out)
+        return 1
+    merged = merge_snapshots(snapshots)
+    if args.prometheus:
+        out.write(prometheus_text(merged))
+        return 0
+    out.write(render_report(merged, sweep=sweep, title=title))
     return 0
 
 
@@ -448,6 +530,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return cmd_sweep(args, out)
     if args.command == "resilience":
         return cmd_resilience(args, out)
+    if args.command == "report":
+        return cmd_report(args, out)
     if args.command == "calibrate":
         return cmd_calibrate(args, out)
     parser.error("unknown command %r" % args.command)

@@ -27,6 +27,7 @@ from typing import Callable, List, Optional
 from repro.core.clock import DriftingClock
 from repro.net.interface import NetworkInterface
 from repro.sim.engine import Simulator
+from repro.telemetry.spans import Span, SpanTracer
 
 #: SYNC body: T (8) + t (8) + seq (4) + reference timestamp (8).
 SYNC_BODY_BYTES = 28
@@ -102,6 +103,7 @@ class Coordinator:
         on_window_close: Optional[Callable[[], None]] = None,
         on_period_end: Optional[Callable[[], None]] = None,
         resync_after_silent_periods: Optional[int] = None,
+        tracer: Optional[SpanTracer] = None,
     ) -> None:
         if window_s <= 0 or period_s <= window_s:
             raise ValueError(
@@ -143,6 +145,11 @@ class Coordinator:
         self.syncs_received = 0
         self._started = False
         self._stopped = False
+        #: Optional rich-telemetry tracer; when set, each beacon period is
+        #: recorded as a "beacon_round" span (wake to sleep, sim time) that
+        #: per-node receive events parent to via :attr:`window_span`.
+        self._tracer = tracer
+        self.window_span: Optional[Span] = None
 
     @property
     def period_s(self) -> float:
@@ -238,6 +245,13 @@ class Coordinator:
             return
         self._interface.wake()
         self.windows_run += 1
+        if self._tracer is not None:
+            self.window_span = self._tracer.start_span(
+                "beacon_round",
+                self._sim.now,
+                node=self._interface.node_id,
+                window=self.windows_run,
+            )
         if self._on_window_open is not None:
             self._on_window_open()
         start_local = self._current_window_start_local()
@@ -289,6 +303,9 @@ class Coordinator:
             return
         if self._on_period_end is not None:
             self._on_period_end()
+        if self._tracer is not None and self.window_span is not None:
+            self._tracer.end_span(self.window_span, self._sim.now)
+            self.window_span = None
         resyncing = self._in_resync_mode()
         if resyncing:
             self.resync_periods += 1

@@ -175,6 +175,9 @@ class PositionEstimator:
         self.beacons_quarantined = 0
         #: Posterior-health watchdog resets.
         self.watchdog_resets = 0
+        #: Anchors suspected on fix residuals (telemetry; counts events,
+        #: not distinct anchors).
+        self.residual_suspicions = 0
         #: Posterior spread of the most recent fix — the "goodness of the
         #: location" measure the beacon-promotion extension gates on.
         self.last_fix_std_m: Optional[float] = None
@@ -326,6 +329,7 @@ class PositionEstimator:
                 # Scale suspicion with how wrong the anchor is, so a
                 # grossly drifted radio is quarantined within a window
                 # or two while borderline ones need repeat offenses.
+                self.residual_suspicions += 1
                 self._raise_suspicion(
                     anchor_id, t, amount=1.0 + (z - self.RESIDUAL_SIGMA)
                 )

@@ -43,9 +43,13 @@ from repro.multicast.mrmm import MrmmConfig, MrmmNode
 from repro.multicast.odmrp import MulticastStats, OdmrpConfig, OdmrpNode
 from repro.net.channel import BroadcastChannel, ChannelStats
 from repro.net.interface import NetworkInterface
+from repro.net.packet import ReceivedPacket
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 from repro.sim.timers import PeriodicTimer
+from repro.telemetry.collect import Telemetry, collect_team_snapshot
+from repro.telemetry.registry import COUNT_EDGES, DISTANCE_EDGES_M
+from repro.telemetry.snapshot import TelemetrySnapshot
 
 
 @dataclass
@@ -69,6 +73,11 @@ class TeamResult:
         beacons_gated: beacons rejected by the geometric consistency gate.
         beacons_quarantined: beacons ignored from quarantined anchors.
         watchdog_resets: posterior-health watchdog resets across robots.
+        telemetry: the run's metric snapshot (always populated by
+            :meth:`CoCoATeam.run`; rich-mode keys appear only when the
+            team was built with a :class:`~repro.telemetry.collect.Telemetry`
+            handle).  Rides in the result cache, so reports over cached
+            sweeps need no re-simulation.
     """
 
     config: CoCoAConfig
@@ -86,6 +95,7 @@ class TeamResult:
     beacons_gated: int = 0
     beacons_quarantined: int = 0
     watchdog_resets: int = 0
+    telemetry: Optional[TelemetrySnapshot] = None
 
     def mean_error_series(self) -> np.ndarray:
         """Average error over robots at each sample time (the paper's
@@ -131,6 +141,12 @@ class CoCoATeam:
             ``config.faults`` (the config field is what sweeps and the
             result cache see; the argument is an escape hatch for direct
             programmatic use).
+        telemetry: optional rich-instrumentation handle.  When given, the
+            coordinators record beacon-round spans, beacon receptions
+            become child events, and fix quality lands in registry
+            histograms.  Deliberately *not* part of the config: telemetry
+            never changes simulation behaviour, so it must not change
+            cache fingerprints either.
     """
 
     def __init__(
@@ -138,8 +154,10 @@ class CoCoATeam:
         config: CoCoAConfig,
         pdf_table: Optional[PdfTable] = None,
         faults: Optional[FaultPlan] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.config = config
+        self.telemetry = telemetry
         self.streams = RandomStreams(config.master_seed)
         self.sim = Simulator()
         self.channel = BroadcastChannel(
@@ -253,7 +271,10 @@ class CoCoATeam:
                 is_sync_robot=node_id == sync_robot_id,
             )
             if estimator is not None and rf_active:
-                interface.on_receive(BEACON_KIND, node.handle_beacon)
+                handler = node.handle_beacon
+                if self.telemetry is not None and coordinator is not None:
+                    handler = self._traced_beacon_handler(node, coordinator)
+                interface.on_receive(BEACON_KIND, handler)
             if multicast is not None and coordinator is not None:
                 multicast.on_data(
                     lambda body, rp, c=coordinator, b=beaconer: (
@@ -261,6 +282,27 @@ class CoCoATeam:
                     )
                 )
             self.nodes.append(node)
+
+    def _traced_beacon_handler(
+        self, node: RobotNode, coordinator: Coordinator
+    ):
+        """Wrap beacon delivery with a point event parented to the node's
+        current beacon-round span.  Pure observation: the wrapped handler
+        runs unchanged and the tracer touches neither RNG nor the queue."""
+        tracer = self.telemetry.tracer
+
+        def handle(received: ReceivedPacket) -> None:
+            tracer.event(
+                self.sim.now,
+                "beacon_rx",
+                node=node.node_id,
+                parent=coordinator.window_span,
+                anchor=received.packet.src,
+                rssi=received.rssi_dbm,
+            )
+            node.handle_beacon(received)
+
+        return handle
 
     def _is_measured(self, node_id: int, is_anchor: bool) -> bool:
         """Whose localization error the experiment reports."""
@@ -368,9 +410,29 @@ class CoCoATeam:
             if is_sync and multicast is not None:
                 self._sync_round(multicast, clock)
 
+        telemetry = self.telemetry
+        window_state = {"heard": 0}
+
         def window_close() -> None:
-            if estimator is not None:
-                estimator.on_window_close()
+            if estimator is None:
+                return
+            fixes_before = estimator.fixes
+            estimator.on_window_close()
+            if telemetry is None:
+                return
+            registry = telemetry.registry
+            heard = estimator.beacons_heard
+            registry.histogram(
+                "estimator_beacons_per_window", COUNT_EDGES
+            ).observe(heard - window_state["heard"])
+            window_state["heard"] = heard
+            if (
+                estimator.fixes > fixes_before
+                and estimator.last_fix_std_m is not None
+            ):
+                registry.histogram(
+                    "estimator_fix_std_m", DISTANCE_EDGES_M
+                ).observe(estimator.last_fix_std_m)
 
         return Coordinator(
             self.sim,
@@ -384,6 +446,7 @@ class CoCoATeam:
             on_window_open=window_open,
             on_window_start=window_start,
             on_window_close=window_close,
+            tracer=telemetry.tracer if telemetry is not None else None,
         )
 
     def _sync_round(self, source: OdmrpNode, clock: DriftingClock) -> None:
@@ -477,12 +540,19 @@ class CoCoATeam:
         errors = np.array(self._sample_errors, dtype=float).T
         if errors.size == 0:
             errors = np.zeros((len(measured), 0))
-        return TeamResult(
+        result = TeamResult(
             config=config,
             times=np.array(self._sample_times, dtype=float),
             errors=errors,
             measured_ids=[n.node_id for n in measured],
-            energy=aggregate_meters(meters),
+            energy=aggregate_meters(
+                meters,
+                registry=(
+                    self.telemetry.registry
+                    if self.telemetry is not None
+                    else None
+                ),
+            ),
             per_node_energy_j={
                 node.node_id: node.interface.meter.total_j
                 for node in self.nodes
@@ -507,3 +577,5 @@ class CoCoATeam:
                 n.estimator.watchdog_resets for n in measured
             ),
         )
+        result.telemetry = collect_team_snapshot(self, result)
+        return result

@@ -67,6 +67,9 @@ class EnergyMeter:
         self._packets_sent = 0
         self._packets_received = 0
         self._transitions = 0
+        self._state_durations: Dict[RadioState, float] = {
+            state: 0.0 for state in RadioState
+        }
 
     @property
     def model(self) -> EnergyModel:
@@ -93,12 +96,31 @@ class EnergyMeter:
         """Number of sleep/wake (and on/off) transitions charged."""
         return self._transitions
 
+    @property
+    def state_durations_s(self) -> Dict[RadioState, float]:
+        """Seconds charged per radio state (a copy; all states present)."""
+        return dict(self._state_durations)
+
+    def metrics(self) -> Dict[str, float]:
+        """Flat metric mapping for telemetry collection."""
+        out = {
+            "radio_%s_s" % state.value: duration
+            for state, duration in self._state_durations.items()
+        }
+        out["radio_transitions"] = float(self._transitions)
+        out["radio_packets_sent"] = float(self._packets_sent)
+        out["radio_packets_received"] = float(self._packets_received)
+        for key, value in self._breakdown.as_dict().items():
+            out["energy_%s" % key] = value
+        return out
+
     def charge_state(self, state: RadioState, duration_s: float) -> None:
         """Charge baseline power for spending ``duration_s`` in ``state``."""
         if duration_s < 0:
             raise ValueError(
                 "duration_s must be non-negative, got %r" % duration_s
             )
+        self._state_durations[state] += duration_s
         energy_j = self._model.state_power_mw(state) * 1e-3 * duration_s
         if state is RadioState.TX:
             self._breakdown.tx_j += energy_j

@@ -1,11 +1,20 @@
-"""Team-level energy aggregation for the evaluation harness."""
+"""Team-level energy aggregation for the evaluation harness.
+
+Aggregation is driven by each meter's own :meth:`EnergyMeter.metrics`
+mapping, accumulated through a telemetry
+:class:`~repro.telemetry.registry.MetricsRegistry` — one generic loop
+instead of a hand-maintained field-by-field sum, so a new breakdown
+category shows up in team reports (and in ``repro report``) without
+touching this module.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, List
+from dataclasses import dataclass, fields
+from typing import Iterable, List, Optional
 
 from repro.energy.meter import EnergyBreakdown, EnergyMeter
+from repro.telemetry.registry import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -40,18 +49,31 @@ class TeamEnergyReport:
         return max(self.node_totals_j)
 
 
-def aggregate_meters(meters: Iterable[EnergyMeter]) -> TeamEnergyReport:
-    """Sum per-node meters into a :class:`TeamEnergyReport`."""
+def aggregate_meters(
+    meters: Iterable[EnergyMeter],
+    registry: Optional[MetricsRegistry] = None,
+) -> TeamEnergyReport:
+    """Sum per-node meters into a :class:`TeamEnergyReport`.
+
+    Args:
+        meters: the team's per-node meters.
+        registry: optional telemetry registry to accumulate into; when
+            given, every ``energy_*`` / ``radio_*`` meter metric lands in
+            it (so rich-mode runs see team energy in their registry dump).
+            A private registry is used otherwise.
+    """
+    # The caller's registry may be the no-op shim, so the report always
+    # accumulates through its own live registry and mirrors outward.
+    acc = MetricsRegistry()
     totals: List[float] = []
-    agg = EnergyBreakdown()
     for meter in meters:
-        b = meter.breakdown
-        totals.append(b.total_j)
-        agg.tx_j += b.tx_j
-        agg.rx_j += b.rx_j
-        agg.idle_j += b.idle_j
-        agg.sleep_j += b.sleep_j
-        agg.packet_send_j += b.packet_send_j
-        agg.packet_recv_j += b.packet_recv_j
-        agg.transition_j += b.transition_j
-    return TeamEnergyReport(node_totals_j=totals, breakdown=agg)
+        totals.append(meter.total_j)
+        for name, value in meter.metrics().items():
+            acc.counter(name).inc(value)
+            if registry is not None:
+                registry.counter(name).inc(value)
+    breakdown = EnergyBreakdown(**{
+        f.name: acc.counter("energy_%s" % f.name).value
+        for f in fields(EnergyBreakdown)
+    })
+    return TeamEnergyReport(node_totals_j=totals, breakdown=breakdown)

@@ -109,6 +109,7 @@ def run_fig4(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressListener] = None,
+    telemetry_path: Optional[str] = None,
 ) -> Dict[float, Dict]:
     """Figure 4: localization error over time using only odometry."""
     sweep = [
@@ -118,10 +119,14 @@ def run_fig4(
             ),
             name="fig4 v_max=%g" % v_max,
             key=v_max,
+            telemetry=telemetry_path is not None,
         )
         for v_max in v_maxes
     ]
-    outcome = run_sweep(sweep, n_jobs=jobs, cache=cache, progress=progress)
+    outcome = run_sweep(
+        sweep, n_jobs=jobs, cache=cache, progress=progress,
+        telemetry_path=telemetry_path,
+    )
     out: Dict[float, Dict] = {}
     for job, result in zip(sweep, outcome.results):
         out[job.key] = {
@@ -191,6 +196,7 @@ def run_fig6(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressListener] = None,
+    telemetry_path: Optional[str] = None,
 ) -> Dict[float, Dict]:
     """Figure 6: RF-only localization error over time for several ``T``."""
     cal = calibration if calibration is not None else SharedCalibration()
@@ -201,11 +207,13 @@ def run_fig6(
             ),
             name="fig6 T=%g" % period,
             key=period,
+            telemetry=telemetry_path is not None,
         )
         for period in beacon_periods_s
     ]
     outcome = run_sweep(
-        sweep, n_jobs=jobs, cache=cache, progress=progress, calibration=cal
+        sweep, n_jobs=jobs, cache=cache, progress=progress, calibration=cal,
+        telemetry_path=telemetry_path,
     )
     out: Dict[float, Dict] = {}
     for job, result in zip(sweep, outcome.results):
@@ -229,6 +237,7 @@ def run_fig7(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressListener] = None,
+    telemetry_path: Optional[str] = None,
 ) -> Dict[float, Dict[str, Dict]]:
     """Figure 7: odometry vs RF-only vs CoCoA at T = 100 s."""
     cal = calibration if calibration is not None else SharedCalibration()
@@ -244,12 +253,14 @@ def run_fig7(
             ),
             name="fig7 v_max=%g %s" % (v_max, mode.value),
             key=(v_max, mode.value),
+            telemetry=telemetry_path is not None,
         )
         for v_max in v_maxes
         for mode in modes
     ]
     outcome = run_sweep(
-        sweep, n_jobs=jobs, cache=cache, progress=progress, calibration=cal
+        sweep, n_jobs=jobs, cache=cache, progress=progress, calibration=cal,
+        telemetry_path=telemetry_path,
     )
     out: Dict[float, Dict[str, Dict]] = {v_max: {} for v_max in v_maxes}
     for job, result in zip(sweep, outcome.results):
@@ -314,6 +325,7 @@ def run_fig9(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressListener] = None,
+    telemetry_path: Optional[str] = None,
 ) -> Dict[float, Dict]:
     """Figure 9: impact of ``T`` on error (a) and on energy with/without
     coordination (b)."""
@@ -329,12 +341,14 @@ def run_fig9(
             name="fig9 T=%g %s"
             % (period, "coord" if coordination else "no-coord"),
             key=(period, coordination),
+            telemetry=telemetry_path is not None,
         )
         for period in beacon_periods_s
         for coordination in (True, False)
     ]
     outcome = run_sweep(
-        sweep, n_jobs=jobs, cache=cache, progress=progress, calibration=cal
+        sweep, n_jobs=jobs, cache=cache, progress=progress, calibration=cal,
+        telemetry_path=telemetry_path,
     )
     by_key = outcome.by_key()
     out: Dict[float, Dict] = {}
@@ -364,6 +378,7 @@ def run_fig10(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressListener] = None,
+    telemetry_path: Optional[str] = None,
 ) -> Dict[int, Dict]:
     """Figure 10: impact of the number of robots with localization
     devices."""
@@ -375,11 +390,13 @@ def run_fig10(
             ),
             name="fig10 anchors=%d" % count,
             key=count,
+            telemetry=telemetry_path is not None,
         )
         for count in anchor_counts
     ]
     outcome = run_sweep(
-        sweep, n_jobs=jobs, cache=cache, progress=progress, calibration=cal
+        sweep, n_jobs=jobs, cache=cache, progress=progress, calibration=cal,
+        telemetry_path=telemetry_path,
     )
     out: Dict[int, Dict] = {}
     for job, result in zip(sweep, outcome.results):
@@ -406,6 +423,7 @@ def run_mrmm_ablation(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressListener] = None,
+    telemetry_path: Optional[str] = None,
 ) -> Dict[str, Dict]:
     """§2.3 claim: MRMM's pruning versus plain ODMRP.
 
@@ -422,11 +440,13 @@ def run_mrmm_ablation(
             ),
             name="mrmm-ablation %s" % protocol.value,
             key=protocol.value,
+            telemetry=telemetry_path is not None,
         )
         for protocol in (MulticastProtocol.ODMRP, MulticastProtocol.MRMM)
     ]
     outcome = run_sweep(
-        sweep, n_jobs=jobs, cache=cache, progress=progress, calibration=cal
+        sweep, n_jobs=jobs, cache=cache, progress=progress, calibration=cal,
+        telemetry_path=telemetry_path,
     )
     out: Dict[str, Dict] = {}
     for job, result in zip(sweep, outcome.results):

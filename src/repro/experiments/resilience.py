@@ -97,6 +97,7 @@ def run_resilience_sweep(
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressListener] = None,
     defenses: DefenseConfig = DEFENDED_DEFAULTS,
+    telemetry_path: Optional[str] = None,
 ) -> Dict[float, Dict[str, Dict]]:
     """Error-versus-intensity curves, with and without defenses.
 
@@ -113,6 +114,8 @@ def run_resilience_sweep(
             across sweeps.
         progress: optional progress listener.
         defenses: the defense profile for the "defended" cells.
+        telemetry_path: when set, executed cells run with rich telemetry
+            and the per-job snapshots are written to this JSONL path.
 
     Returns:
         ``{intensity: {"undefended": cell, "defended": cell}}`` where each
@@ -139,12 +142,14 @@ def run_resilience_sweep(
             ),
             name="resilience i=%g %s" % (intensity, label),
             key=(intensity, label),
+            telemetry=telemetry_path is not None,
         )
         for intensity in intensities
         for label, defense in variants
     ]
     outcome = run_sweep(
-        sweep, n_jobs=jobs, cache=cache, progress=progress, calibration=cal
+        sweep, n_jobs=jobs, cache=cache, progress=progress, calibration=cal,
+        telemetry_path=telemetry_path,
     )
     skip_s = min(
         1.1 * base_config.beacon_period_s + 5.0, base_config.duration_s / 2

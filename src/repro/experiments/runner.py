@@ -17,6 +17,7 @@ from repro.core.config import CoCoAConfig, LocalizationMode
 from repro.core.pdf_table import PdfTable
 from repro.core.team import CoCoATeam, TeamResult
 from repro.sim.rng import RandomStreams
+from repro.telemetry.collect import Telemetry
 
 
 class SharedCalibration:
@@ -97,7 +98,18 @@ def default_calibration() -> SharedCalibration:
 def run_scenario(
     config: CoCoAConfig,
     calibration: Optional[SharedCalibration] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> TeamResult:
-    """Build and run one scenario, reusing calibrations across calls."""
+    """Build and run one scenario, reusing calibrations across calls.
+
+    Args:
+        config: the scenario.
+        calibration: optional shared calibration cache.
+        telemetry: optional rich-instrumentation handle, passed through
+            to the team (never part of the config — see
+            :class:`~repro.core.team.CoCoATeam`).
+    """
     cal = calibration if calibration is not None else _default_calibration
-    return CoCoATeam(config, pdf_table=cal.table_for(config)).run()
+    return CoCoATeam(
+        config, pdf_table=cal.table_for(config), telemetry=telemetry
+    ).run()

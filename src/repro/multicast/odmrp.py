@@ -94,6 +94,9 @@ class MulticastStats:
     data_delivered: int = 0
     duplicates_dropped: int = 0
     forwards_suppressed: int = 0
+    #: Same-round upstream replacements (only MRMM's link-lifetime
+    #: preference ever triggers these; plain ODMRP keeps the first copy).
+    route_switches: int = 0
 
 
 @dataclass(frozen=True)
@@ -315,6 +318,7 @@ class OdmrpNode:
             self._routes[payload.source] = entry
         elif entry.seq == payload.seq:
             if self._candidate_better(candidate, entry):
+                self.stats.route_switches += 1
                 entry.upstream = candidate.upstream
                 entry.hop_count = candidate.hop_count
                 entry.path_lifetime = candidate.path_lifetime

@@ -67,6 +67,7 @@ class ChannelStats:
     """
 
     frames_sent: int = 0
+    frames_offered: int = 0
     frames_delivered: int = 0
     frames_below_sensitivity: int = 0
     frames_collided: int = 0
@@ -76,6 +77,7 @@ class ChannelStats:
     frames_missed_brownout: int = 0
     frames_corrupted: int = 0
     frames_crc_dropped: int = 0
+    airtime_s: float = 0.0
 
 
 class BroadcastChannel:
@@ -199,6 +201,7 @@ class BroadcastChannel:
         entry.radio.begin_transmit(airtime)
         entry.radio.meter.charge_send(packet.size_bytes)
         self.stats.frames_sent += 1
+        self.stats.airtime_s += airtime
         self._trace.emit(
             now, "channel.tx", src_id, kind=packet.kind, uid=packet.uid
         )
@@ -213,6 +216,7 @@ class BroadcastChannel:
         self, tx: Transmission, receiver: _NodeEntry, airtime: float
     ) -> None:
         """Decide whether ``receiver`` may decode ``tx``; schedule delivery."""
+        self.stats.frames_offered += 1
         if not receiver.radio.is_awake:
             self.stats.frames_missed_asleep += 1
             return

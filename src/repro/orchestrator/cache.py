@@ -102,6 +102,12 @@ class ResultCache:
     def manifest_path(self) -> str:
         return os.path.join(self._partition, "manifest.jsonl")
 
+    @property
+    def sweeps_path(self) -> str:
+        """Append-only log of sweep-level summaries (``repro report``
+        reads it for orchestrator-side numbers like the cache hit rate)."""
+        return os.path.join(self._partition, "sweeps.jsonl")
+
     # -- lookup / store ------------------------------------------------------
 
     def get(self, fingerprint: str) -> Optional[TeamResult]:
@@ -169,6 +175,37 @@ class ResultCache:
                 handle.write(line + "\n")
         except Exception:
             self.stats.errors += 1
+
+    def record_sweep(self, record: dict) -> bool:
+        """Append one sweep summary to ``sweeps.jsonl`` (best effort)."""
+        try:
+            os.makedirs(self._partition, exist_ok=True)
+            line = json.dumps(record, sort_keys=True, default=str)
+            with open(self.sweeps_path, "a") as handle:
+                handle.write(line + "\n")
+        except Exception:
+            self.stats.errors += 1
+            return False
+        return True
+
+    def sweep_records(self) -> List[dict]:
+        """Parse the sweep log, newest last (skipping unreadable lines)."""
+        out: List[dict] = []
+        try:
+            with open(self.sweeps_path) as handle:
+                for raw in handle:
+                    raw = raw.strip()
+                    if not raw:
+                        continue
+                    try:
+                        data = json.loads(raw)
+                    except ValueError:
+                        continue
+                    if isinstance(data, dict):
+                        out.append(data)
+        except OSError:
+            return out
+        return out
 
     # -- maintenance ---------------------------------------------------------
 

@@ -36,12 +36,15 @@ from repro.experiments.runner import (
     run_scenario,
 )
 from repro.orchestrator.cache import ResultCache
-from repro.orchestrator.jobs import SweepJob
+from repro.orchestrator.jobs import CODE_VERSION, SweepJob
 from repro.orchestrator.progress import (
     JobRecord,
     ProgressListener,
     SweepReport,
 )
+from repro.telemetry.collect import Telemetry
+from repro.telemetry.export import write_jsonl
+from repro.telemetry.registry import DURATION_EDGES_S, Histogram
 
 IndexedJob = Tuple[int, SweepJob]
 
@@ -50,10 +53,29 @@ class SweepExecutionError(RuntimeError):
     """A job kept failing after every allowed attempt."""
 
 
+def _job_telemetry(job: SweepJob) -> Optional[Telemetry]:
+    """The job's rich-instrumentation handle, if it asked for one."""
+    return Telemetry.enabled() if getattr(job, "telemetry", False) else None
+
+
+def _record_cpu(result: TeamResult, cpu_s: float) -> None:
+    """Stash worker CPU time in the result's telemetry snapshot.
+
+    The backend tuple shape ``(index, result, wall_s, attempts)`` is
+    pinned by tests and external backends, so CPU time rides inside the
+    result instead of widening the protocol.
+    """
+    telemetry = getattr(result, "telemetry", None)
+    if telemetry is not None:
+        telemetry.metrics["orchestrator_job_cpu_s"] = cpu_s
+
+
 def _timed_run(job: SweepJob) -> Tuple[TeamResult, float]:
     """Run one job and measure its wall time (top level: must pickle)."""
     start = time.perf_counter()
-    result = run_scenario(job.config)
+    cpu_start = time.process_time()
+    result = run_scenario(job.config, telemetry=_job_telemetry(job))
+    _record_cpu(result, time.process_time() - cpu_start)
     return result, time.perf_counter() - start
 
 
@@ -77,6 +99,9 @@ class SerialBackend:
     """
 
     n_workers = 1
+    #: Optional ``callable(index)`` invoked when a job starts executing;
+    #: the sweep driver installs one for in-flight-aware ETAs.
+    on_start: Optional[Callable[[int], None]] = None
 
     def __init__(self, calibration: Optional[SharedCalibration] = None) -> None:
         self.calibration = calibration
@@ -85,8 +110,16 @@ class SerialBackend:
         self, pending: Sequence[IndexedJob]
     ) -> Iterator[Tuple[int, TeamResult, float, int]]:
         for index, job in pending:
+            if self.on_start is not None:
+                self.on_start(index)
             start = time.perf_counter()
-            result = run_scenario(job.config, calibration=self.calibration)
+            cpu_start = time.process_time()
+            result = run_scenario(
+                job.config,
+                calibration=self.calibration,
+                telemetry=_job_telemetry(job),
+            )
+            _record_cpu(result, time.process_time() - cpu_start)
             yield index, result, time.perf_counter() - start, 1
 
 
@@ -124,6 +157,10 @@ class ProcessPoolBackend:
             retried sweeps behave reproducibly under test).
         task: the callable shipped to workers; injectable for tests.
     """
+
+    #: Optional ``callable(index)`` invoked at submit time (see
+    #: :class:`SerialBackend`).  Retried submissions fire it again.
+    on_start: Optional[Callable[[int], None]] = None
 
     def __init__(
         self,
@@ -210,6 +247,8 @@ class ProcessPoolBackend:
                 while queue:
                     index = queue.popleft()
                     attempts[index] += 1
+                    if self.on_start is not None:
+                        self.on_start(index)
                     future = pool.submit(self._task, jobs[index])
                     futures[future] = index
                     if self.timeout_s is not None:
@@ -296,6 +335,7 @@ def run_sweep(
     calibration: Optional[SharedCalibration] = None,
     timeout_s: Optional[float] = None,
     max_attempts: int = 3,
+    telemetry_path: Optional[str] = None,
 ) -> SweepOutcome:
     """Execute a sweep, returning results in deterministic job order.
 
@@ -306,7 +346,9 @@ def run_sweep(
         backend: explicit backend instance (anything with ``n_workers``
             and ``execute(pending)``).
         cache: optional result cache consulted before execution and
-            updated after; hits skip simulation entirely.
+            updated after; hits skip simulation entirely.  A sweep-level
+            summary line (job counts, hit rate, wall quantiles) is also
+            appended to the cache's ``sweeps.jsonl``.
         progress: optional listener for per-job progress and ETA.
         calibration: shared calibration for the serial backend (worker
             processes always rebuild their own).
@@ -314,6 +356,9 @@ def run_sweep(
             (ignored for the serial backend and explicit ``backend``).
         max_attempts: attempts per job before the sweep aborts (pool
             backend only).
+        telemetry_path: if given, write one JSONL record per job (its
+            telemetry snapshot, wall/CPU time, cache status) plus a final
+            sweep-summary record to this path.
     """
     jobs = list(jobs)
     if backend is None:
@@ -333,7 +378,18 @@ def run_sweep(
     records: List[Optional[JobRecord]] = [None] * len(jobs)
     hits = 0
     done = 0
-    executed_walls: List[float] = []
+    wall_hist = Histogram("job_wall_s", DURATION_EDGES_S)
+    #: index -> perf_counter at submit, for in-flight-aware ETAs.
+    in_flight: Dict[int, float] = {}
+
+    def job_started(index: int) -> None:
+        in_flight[index] = time.perf_counter()
+        listener.job_started(index, jobs[index].name)
+
+    # Only backends that declare the hook get it; stub/test backends
+    # without an ``on_start`` attribute are left untouched.
+    if hasattr(backend, "on_start"):
+        backend.on_start = job_started
 
     def finish(index: int, record: JobRecord) -> None:
         nonlocal done
@@ -342,13 +398,24 @@ def run_sweep(
         listener.job_finished(record, done, len(jobs), eta())
 
     def eta() -> Optional[float]:
+        """Remaining-work estimate that credits in-flight progress.
+
+        A job already running for ``e`` seconds is expected to need
+        ``max(mean - e, 0)`` more, not the full mean — without this, the
+        ETA jumps up every time a batch of jobs is submitted and decays
+        in steps rather than smoothly.
+        """
         left = len(jobs) - done
         if left == 0:
             return 0.0
-        if not executed_walls:
+        if wall_hist.count == 0:
             return None
-        mean = sum(executed_walls) / len(executed_walls)
-        return mean * left / max(1, n_workers)
+        mean = wall_hist.mean
+        now = time.perf_counter()
+        running = [t0 for idx, t0 in in_flight.items() if results[idx] is None]
+        inflight_s = sum(max(mean - (now - t0), 0.0) for t0 in running)
+        queued = left - len(running)
+        return (max(queued, 0) * mean + inflight_s) / max(1, n_workers)
 
     pending: List[IndexedJob] = []
     for index, job in enumerate(jobs):
@@ -366,14 +433,18 @@ def run_sweep(
     for index, result, wall_s, attempts in backend.execute(pending):
         job = jobs[index]
         results[index] = result
+        in_flight.pop(index, None)
         if cache is not None:
             cache.put(job.fingerprint, result, job_name=job.name,
                       wall_s=wall_s)
-        executed_walls.append(wall_s)
+        wall_hist.observe(wall_s)
+        snapshot = getattr(result, "telemetry", None)
+        cpu_s = snapshot.get("orchestrator_job_cpu_s") if snapshot else 0.0
         finish(
             index,
             JobRecord(
-                name=job.name, wall_s=wall_s, cached=False, attempts=attempts
+                name=job.name, wall_s=wall_s, cached=False,
+                attempts=attempts, cpu_s=cpu_s,
             ),
         )
 
@@ -383,6 +454,53 @@ def run_sweep(
         cache_hits=hits,
         cache_misses=len(pending),
         n_workers=n_workers,
+        job_wall_p50_s=wall_hist.quantile(0.5),
+        job_wall_p90_s=wall_hist.quantile(0.9),
     )
     listener.sweep_finished(report)
+
+    sweep_record = {
+        "record": "sweep",
+        "code_version": CODE_VERSION,
+        "jobs": len(jobs),
+        "cache_hits": hits,
+        "cache_misses": len(pending),
+        "retried": report.n_retried,
+        "wall_s": round(report.total_wall_s, 3),
+        "n_workers": n_workers,
+        "job_wall_p50_s": round(report.job_wall_p50_s, 3),
+        "job_wall_p90_s": round(report.job_wall_p90_s, 3),
+    }
+    if cache is not None:
+        cache.record_sweep(sweep_record)
+    if telemetry_path is not None:
+        _write_sweep_telemetry(
+            telemetry_path, jobs, results, records, sweep_record
+        )
     return SweepOutcome(jobs=jobs, results=[r for r in results], report=report)
+
+
+def _write_sweep_telemetry(
+    path: str,
+    jobs: Sequence[SweepJob],
+    results: Sequence[object],
+    records: Sequence[Optional[JobRecord]],
+    sweep_record: dict,
+) -> None:
+    """Dump per-job snapshots plus the sweep summary as JSONL."""
+    lines: List[dict] = []
+    for job, result, record in zip(jobs, results, records):
+        entry = {
+            "record": "job",
+            "job": job.name,
+            "fingerprint": job.fingerprint,
+            "cached": record.cached if record is not None else False,
+            "wall_s": round(record.wall_s, 3) if record is not None else 0.0,
+            "attempts": record.attempts if record is not None else 0,
+        }
+        snapshot = getattr(result, "telemetry", None)
+        if snapshot is not None:
+            entry.update(snapshot.as_record())
+        lines.append(entry)
+    lines.append(sweep_record)
+    write_jsonl(path, lines)

@@ -26,7 +26,7 @@ from repro.core.config import CoCoAConfig
 #: Bump whenever a change anywhere in the simulator alters the metrics a
 #: given config produces; cached results from older versions are then
 #: ignored (they live under a different cache partition).
-CODE_VERSION = "2026.08.1"
+CODE_VERSION = "2026.08.2"
 
 
 def _canonical(value: object) -> object:
@@ -75,11 +75,18 @@ class SweepJob:
         key: consumer-side key (seed, beacon period, (v_max, mode) tuple,
             ...) so sweep callers can reshape the flat result list back
             into their own structures.
+        telemetry: run the job with rich telemetry (registry + span
+            tracer) enabled.  Deliberately excluded from the fingerprint:
+            telemetry never changes simulation output, so toggling it must
+            not invalidate cached results.  Consequence: a job answered
+            from cache carries whatever snapshot the original execution
+            stored — rich keys only if *that* run had telemetry enabled.
     """
 
     config: CoCoAConfig
     name: str = ""
     key: object = None
+    telemetry: bool = False
 
     @property
     def fingerprint(self) -> str:
@@ -91,6 +98,7 @@ def seed_jobs(
     config: CoCoAConfig,
     seeds: Sequence[int],
     name_format: str = "seed={seed}",
+    telemetry: bool = False,
 ) -> List[SweepJob]:
     """Jobs re-running one scenario under several master seeds."""
     return [
@@ -98,6 +106,7 @@ def seed_jobs(
             config=replace(config, master_seed=seed),
             name=name_format.format(seed=seed),
             key=seed,
+            telemetry=telemetry,
         )
         for seed in seeds
     ]
@@ -108,6 +117,7 @@ def grid_jobs(
     field: str,
     values: Iterable[object],
     name_format: Optional[str] = None,
+    telemetry: bool = False,
 ) -> List[SweepJob]:
     """Jobs varying one config field over ``values``."""
     if name_format is None:
@@ -117,6 +127,7 @@ def grid_jobs(
             config=replace(config, **{field: value}),
             name=name_format.format(value=value),
             key=value,
+            telemetry=telemetry,
         )
         for value in values
     ]

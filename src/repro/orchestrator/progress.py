@@ -14,6 +14,8 @@ import sys
 from dataclasses import dataclass, field
 from typing import List, Optional, TextIO
 
+from repro.telemetry.registry import DURATION_EDGES_S, Histogram
+
 
 @dataclass(frozen=True)
 class JobRecord:
@@ -26,12 +28,15 @@ class JobRecord:
         attempts: times the job was submitted to a worker before the
             result landed (0 for cache hits, 1 for a clean run, more
             after retries, timeouts or pool crashes).
+        cpu_s: CPU seconds the job burned in its worker (0.0 for cache
+            hits, or when the result carries no telemetry snapshot).
     """
 
     name: str
     wall_s: float
     cached: bool
     attempts: int = 1
+    cpu_s: float = 0.0
 
 
 @dataclass
@@ -43,6 +48,9 @@ class SweepReport:
     cache_hits: int = 0
     cache_misses: int = 0
     n_workers: int = 1
+    #: p50/p90 of executed-job wall times (0.0 until any job executed).
+    job_wall_p50_s: float = 0.0
+    job_wall_p90_s: float = 0.0
 
     @property
     def n_jobs(self) -> int:
@@ -93,6 +101,13 @@ class ProgressListener:
     def sweep_started(self, n_jobs: int, n_workers: int) -> None:
         """Called once before any job runs."""
 
+    def job_started(self, index: int, name: str) -> None:
+        """Called when a job is handed to a worker (never for cache hits).
+
+        Backends without submit-time hooks may not drive this; listeners
+        must tolerate never hearing it.
+        """
+
     def job_finished(
         self,
         record: JobRecord,
@@ -117,13 +132,15 @@ class ProgressListener:
 class ProgressPrinter(ProgressListener):
     """Prints one status line per finished job, with a running ETA.
 
-    The ETA assumes the remaining jobs cost the mean of the executed ones
-    divided by the worker count — crude, but it converges quickly on the
-    homogeneous jobs a paper sweep is made of.
+    Executed wall times feed a fixed-bucket telemetry
+    :class:`~repro.telemetry.registry.Histogram`; once two jobs have
+    executed, each line carries the running p50/p90 so a long sweep's
+    spread (stragglers, bimodal configs) is visible while it runs.
     """
 
     def __init__(self, out: Optional[TextIO] = None) -> None:
         self.out = out if out is not None else sys.stderr
+        self._walls = Histogram("job_wall_s", DURATION_EDGES_S)
 
     def sweep_started(self, n_jobs: int, n_workers: int) -> None:
         print(
@@ -135,10 +152,19 @@ class ProgressPrinter(ProgressListener):
 
     def job_finished(self, record, done, total, eta_s) -> None:
         status = "cached" if record.cached else "%.1fs" % record.wall_s
+        if not record.cached:
+            self._walls.observe(record.wall_s)
+        quantiles = ""
+        if self._walls.count >= 2:
+            quantiles = "  p50 %.1fs p90 %.1fs" % (
+                self._walls.quantile(0.5),
+                self._walls.quantile(0.9),
+            )
         eta = "" if eta_s is None else "  eta %.0fs" % eta_s
         print(
-            "  [%*d/%d] %-32s %s%s"
-            % (len(str(total)), done, total, record.name, status, eta),
+            "  [%*d/%d] %-32s %s%s%s"
+            % (len(str(total)), done, total, record.name, status, quantiles,
+               eta),
             file=self.out,
             flush=True,
         )

@@ -85,6 +85,8 @@ class Simulator:
         self._seq = itertools.count()
         self._running = False
         self._events_processed = 0
+        self._events_cancelled = 0
+        self._max_queue_depth = 0
 
     @property
     def now(self) -> float:
@@ -95,6 +97,20 @@ class Simulator:
     def events_processed(self) -> int:
         """Number of callbacks executed so far (cancelled events excluded)."""
         return self._events_processed
+
+    @property
+    def events_cancelled(self) -> int:
+        """Number of cancelled events discarded from the queue so far.
+
+        Counted at pop time (lazy deletion), so cancelled events still
+        pending when the run ends are not included.
+        """
+        return self._events_cancelled
+
+    @property
+    def max_queue_depth(self) -> int:
+        """High-water mark of the event heap (cancelled entries included)."""
+        return self._max_queue_depth
 
     @property
     def pending_count(self) -> int:
@@ -148,6 +164,8 @@ class Simulator:
             )
         event = Event(float(time), next(self._seq), callback, args, name)
         heapq.heappush(self._queue, event)
+        if len(self._queue) > self._max_queue_depth:
+            self._max_queue_depth = len(self._queue)
         return event
 
     def run(self, until: Optional[float] = None) -> None:
@@ -175,6 +193,7 @@ class Simulator:
                 event = self._queue[0]
                 if event.cancelled:
                     heapq.heappop(self._queue)
+                    self._events_cancelled += 1
                     continue
                 if until is not None and event.time > until:
                     break
@@ -196,6 +215,7 @@ class Simulator:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._events_cancelled += 1
                 continue
             self._now = event.time
             self._events_processed += 1

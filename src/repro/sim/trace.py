@@ -8,12 +8,21 @@ to know who is listening.
 
 Tracing is off by default per category to keep the hot path cheap: a record
 is only materialized when the category is enabled.
+
+Since the telemetry subsystem landed, :class:`TraceLog` is a thin
+category-filtering facade over :class:`repro.telemetry.spans.SpanTracer`:
+each emitted record is stored as a point span (category as the span name,
+details as span attrs), so trace output composes with span exporters and
+inherits the tracer's bounded ring-buffer mode (``max_records`` plus a
+``dropped_count`` of evicted records).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Set
+
+from repro.telemetry.spans import SpanTracer
 
 
 @dataclass(frozen=True)
@@ -35,11 +44,37 @@ class TraceRecord:
 
 
 class TraceLog:
-    """Collects :class:`TraceRecord` objects for enabled categories."""
+    """Collects :class:`TraceRecord` objects for enabled categories.
 
-    def __init__(self, categories: Iterable[str] = ()) -> None:
+    Args:
+        categories: categories to enable from the start.
+        max_records: if given, keep only the most recent ``max_records``
+            entries as a ring buffer; evicted entries are tallied in
+            :attr:`dropped_count`.  ``None`` (the default) keeps everything.
+    """
+
+    def __init__(
+        self,
+        categories: Iterable[str] = (),
+        max_records: Optional[int] = None,
+    ) -> None:
         self._enabled: Set[str] = set(categories)
-        self._records: List[TraceRecord] = []
+        self._tracer = SpanTracer(max_records=max_records)
+
+    @property
+    def max_records(self) -> Optional[int]:
+        """Ring-buffer capacity (``None`` = unbounded)."""
+        return self._tracer.max_records
+
+    @property
+    def dropped_count(self) -> int:
+        """Records evicted from the ring buffer since construction."""
+        return self._tracer.dropped_count
+
+    @property
+    def tracer(self) -> SpanTracer:
+        """The underlying span tracer (for span-level exporters)."""
+        return self._tracer
 
     def enable(self, category: str) -> None:
         """Start recording ``category`` events."""
@@ -62,24 +97,26 @@ class TraceLog:
     ) -> None:
         """Record an event if its category is enabled."""
         if category in self._enabled:
-            self._records.append(TraceRecord(time, category, node, details))
+            self._tracer.record_event(time, category, node=node,
+                                      attrs=details)
 
     def records(self, category: Optional[str] = None) -> List[TraceRecord]:
         """Return recorded entries, optionally filtered by category."""
-        if category is None:
-            return list(self._records)
-        return [r for r in self._records if r.category == category]
+        return [
+            TraceRecord(span.start, span.name, span.node, span.attrs)
+            for span in self._tracer.records(category)
+        ]
 
     def count(self, category: str) -> int:
         """Number of recorded entries in ``category``."""
-        return sum(1 for r in self._records if r.category == category)
+        return self._tracer.count(category)
 
     def clear(self) -> None:
         """Drop all recorded entries (categories stay enabled)."""
-        self._records.clear()
+        self._tracer.clear()
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._tracer)
 
     def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self._records)
+        return iter(self.records())

@@ -1,0 +1,140 @@
+"""Telemetry exporters: JSONL event stream and Prometheus-style text.
+
+Three output shapes cover the consumers we have:
+
+- :func:`write_jsonl` / :func:`append_jsonl` — a line-per-record stream
+  (job snapshots, sweep summaries, span dumps) that tooling can tail,
+  grep and ``jq``.  Keys are sorted so diffs are stable.
+- :func:`prometheus_text` — the ``# TYPE``-annotated exposition format,
+  for scraping a dump into existing dashboards.
+- the human-readable run report lives in
+  :mod:`repro.telemetry.report` (it needs rendering policy, not just
+  serialization).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import IO, Iterable, List, Mapping, Optional, Union
+
+from repro.telemetry.registry import Histogram, MetricsRegistry
+from repro.telemetry.snapshot import TelemetrySnapshot
+from repro.telemetry.spans import SpanTracer
+
+__all__ = [
+    "append_jsonl",
+    "write_jsonl",
+    "read_jsonl",
+    "prometheus_text",
+    "span_records",
+]
+
+_INVALID_PROM_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _dump(record: Mapping) -> str:
+    return json.dumps(record, sort_keys=True, default=str)
+
+
+def append_jsonl(handle: IO[str], records: Iterable[Mapping]) -> int:
+    """Write ``records`` as JSON lines to an open handle; returns the
+    record count."""
+    n = 0
+    for record in records:
+        handle.write(_dump(record) + "\n")
+        n += 1
+    return n
+
+
+def write_jsonl(path: str, records: Iterable[Mapping], mode: str = "w") -> int:
+    """Write (or with ``mode='a'`` append) JSON lines to ``path``."""
+    with open(path, mode) as handle:
+        return append_jsonl(handle, records)
+
+
+def read_jsonl(path: str) -> List[dict]:
+    """Parse a JSONL file, skipping blank/corrupt lines (best effort —
+    a half-written tail line must not take the report down with it)."""
+    out: List[dict] = []
+    with open(path) as handle:
+        for raw in handle:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                out.append(record)
+    return out
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    return _INVALID_PROM_CHARS.sub("_", prefix + name)
+
+
+def _prom_type(name: str) -> str:
+    """Classify a flattened metric name for the ``# TYPE`` annotation."""
+    if name.endswith(("_p50", "_p90", "_fraction", "_depth", "_rate")):
+        return "gauge"
+    if name.startswith(("run_", "sim_max")):
+        return "gauge"
+    return "counter"
+
+
+def prometheus_text(
+    source: Union[TelemetrySnapshot, MetricsRegistry, Mapping[str, float]],
+    prefix: str = "repro_",
+) -> str:
+    """Render metrics in the Prometheus exposition format.
+
+    Accepts a snapshot, a registry (whose histograms keep their bucket
+    counts and are rendered with ``le`` labels) or any flat mapping.
+    """
+    lines: List[str] = []
+    histograms: List[Histogram] = []
+    if isinstance(source, MetricsRegistry):
+        metrics = source.metrics()
+        histograms = list(source._histograms.values())
+        hist_flat_suffixes = ("_count", "_sum", "_p50", "_p90")
+        hist_names = {h.name for h in histograms}
+        metrics = {
+            name: value
+            for name, value in metrics.items()
+            if not (
+                name.endswith(hist_flat_suffixes)
+                and name.rsplit("_", 1)[0] in hist_names
+            )
+        }
+    elif isinstance(source, TelemetrySnapshot):
+        metrics = dict(source.sorted_items())
+    else:
+        metrics = dict(sorted(source.items()))
+
+    for name, value in metrics.items():
+        prom = _prom_name(name, prefix)
+        lines.append("# TYPE %s %s" % (prom, _prom_type(name)))
+        lines.append("%s %s" % (prom, repr(float(value))))
+    for histogram in sorted(histograms, key=lambda h: h.name):
+        prom = _prom_name(histogram.name, prefix)
+        lines.append("# TYPE %s histogram" % prom)
+        cumulative = 0
+        for edge, count in zip(histogram.edges, histogram.bucket_counts):
+            cumulative += count
+            lines.append('%s_bucket{le="%s"} %d' % (prom, edge, cumulative))
+        lines.append('%s_bucket{le="+Inf"} %d' % (prom, histogram.count))
+        lines.append("%s_sum %s" % (prom, repr(histogram.sum)))
+        lines.append("%s_count %d" % (prom, histogram.count))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def span_records(
+    tracer: SpanTracer, name: Optional[str] = None
+) -> List[dict]:
+    """Spans as JSONL-ready records (optionally filtered by span name)."""
+    return [
+        dict(span.as_record(), record="span")
+        for span in tracer.records(name)
+    ]

@@ -1,0 +1,84 @@
+"""The portable end-of-run metric record.
+
+A :class:`TelemetrySnapshot` is the frozen, picklable form of a run's
+metrics: a flat ``{metric_name: value}`` mapping.  It rides inside
+:class:`~repro.core.team.TeamResult`, so sweep results — including ones
+answered from the on-disk cache — always carry their telemetry, and a
+``repro report`` over a cached sweep needs no re-simulation.
+
+Aggregation semantics are by metric name: almost everything is a sum
+(counters, durations, joules); names listed in :data:`MAX_METRICS` merge
+by maximum (high-water marks like queue depth), names in
+:data:`LAST_METRICS` keep the last value seen (per-run configuration
+echoes).  Derived ratios (delivery rate, sleep fraction, cache hit rate)
+are intentionally *not* stored — they are recomputed from the merged raw
+sums at render time, which keeps merging associative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+__all__ = ["TelemetrySnapshot", "MAX_METRICS", "LAST_METRICS", "merge_snapshots"]
+
+#: Metrics that merge by maximum instead of sum.
+MAX_METRICS = frozenset({
+    "sim_max_queue_depth",
+})
+
+#: Metrics that merge by keeping the most recent value.
+LAST_METRICS = frozenset({
+    "run_duration_s",
+    "run_n_robots",
+    "run_n_anchors",
+})
+
+
+@dataclass
+class TelemetrySnapshot:
+    """A flat metric mapping captured at the end of one run (or merged
+    over several)."""
+
+    metrics: Dict[str, float] = field(default_factory=dict)
+    #: Runs merged into this snapshot (1 for a single run's own record).
+    n_runs: int = 1
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self.metrics.get(name, default)
+
+    def merge(self, other: "TelemetrySnapshot") -> None:
+        """Fold ``other`` into this snapshot in place."""
+        for name, value in other.metrics.items():
+            if name in MAX_METRICS:
+                current = self.metrics.get(name)
+                if current is None or value > current:
+                    self.metrics[name] = value
+            elif name in LAST_METRICS:
+                self.metrics[name] = value
+            else:
+                self.metrics[name] = self.metrics.get(name, 0.0) + value
+        self.n_runs += other.n_runs
+
+    def sorted_items(self):
+        return sorted(self.metrics.items())
+
+    def as_record(self) -> Dict[str, object]:
+        """JSON-serializable form for the JSONL exporter."""
+        return {"n_runs": self.n_runs, "metrics": dict(self.sorted_items())}
+
+    @classmethod
+    def from_mapping(
+        cls, metrics: Mapping[str, float], n_runs: int = 1
+    ) -> "TelemetrySnapshot":
+        return cls(metrics=dict(metrics), n_runs=n_runs)
+
+
+def merge_snapshots(
+    snapshots: Iterable[TelemetrySnapshot],
+) -> TelemetrySnapshot:
+    """Merge any number of snapshots into a fresh one (0 runs if empty)."""
+    merged = TelemetrySnapshot(metrics={}, n_runs=0)
+    for snapshot in snapshots:
+        merged.merge(snapshot)
+    return merged

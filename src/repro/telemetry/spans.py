@@ -1,0 +1,206 @@
+"""Parent-linked spans over simulation time.
+
+:class:`SpanTracer` generalizes the original flat
+:class:`~repro.sim.trace.TraceRecord` stream into *spans*: named
+intervals of simulation time with parent links, so a beacon round can own
+its per-node receive events, which in turn annotate the Bayes update that
+consumed them.  A point event is simply a span whose end equals its
+start.
+
+The tracer is deliberately passive: recording a span allocates one small
+object and appends to a deque — it never schedules events, never reads
+RNG, and its timestamps are the *simulation* clock values the caller
+passes in, so enabling tracing cannot perturb a run (the determinism
+regression test holds this line).
+
+Memory is bounded: construct with ``max_records`` to keep a ring buffer
+of the most recent records and count the evicted ones in
+:attr:`SpanTracer.dropped_count` — a week-long soak with tracing enabled
+degrades to a sliding window instead of exhausting RAM.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "SpanTracer"]
+
+
+class Span:
+    """One named interval (or point event) on the simulation time-line."""
+
+    __slots__ = ("span_id", "parent_id", "name", "node", "start", "end", "attrs")
+
+    def __init__(
+        self,
+        span_id: int,
+        name: str,
+        start: float,
+        node: Optional[int] = None,
+        parent_id: Optional[int] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.node = node
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs = attrs if attrs is not None else {}
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration_s(self) -> float:
+        """Simulation-time length (0.0 for point events / open spans)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def as_record(self) -> Dict[str, Any]:
+        """JSON-serializable form (sorted keys are the exporter's job)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "node": self.node,
+            "start": self.start,
+            "end": self.end,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:
+        return "Span(#%d %s node=%s t=[%.3f, %s])" % (
+            self.span_id,
+            self.name,
+            self.node,
+            self.start,
+            "%.3f" % self.end if self.end is not None else "open",
+        )
+
+
+class SpanTracer:
+    """Collects :class:`Span` records, optionally in a bounded ring.
+
+    Args:
+        max_records: if given, keep only the most recent ``max_records``
+            spans; evictions bump :attr:`dropped_count`.  ``None`` keeps
+            everything (tests, short runs).
+    """
+
+    def __init__(self, max_records: Optional[int] = None) -> None:
+        if max_records is not None and max_records < 1:
+            raise ValueError(
+                "max_records must be >= 1 or None, got %r" % max_records
+            )
+        self.max_records = max_records
+        self._records: Deque[Span] = deque(maxlen=max_records)
+        self._ids = itertools.count(1)
+        self.dropped_count = 0
+
+    def _append(self, span: Span) -> Span:
+        if (
+            self.max_records is not None
+            and len(self._records) == self.max_records
+        ):
+            self.dropped_count += 1
+        self._records.append(span)
+        return span
+
+    def start_span(
+        self,
+        name: str,
+        t: float,
+        node: Optional[int] = None,
+        parent: Optional[Span] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span at simulation time ``t``; close it with
+        :meth:`end_span`."""
+        return self._append(
+            Span(
+                next(self._ids),
+                name,
+                float(t),
+                node=node,
+                parent_id=parent.span_id if parent is not None else None,
+                attrs=attrs or None,
+            )
+        )
+
+    def end_span(self, span: Span, t: float) -> None:
+        """Close ``span`` at simulation time ``t``.
+
+        Raises:
+            ValueError: if ``t`` precedes the span's start (spans live on
+                a monotonic simulation clock).
+        """
+        if t < span.start:
+            raise ValueError(
+                "span %r cannot end at t=%r before its start" % (span, t)
+            )
+        span.end = float(t)
+
+    def event(
+        self,
+        t: float,
+        name: str,
+        node: Optional[int] = None,
+        parent: Optional[Span] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Record a point event (a zero-duration, already-closed span)."""
+        return self.record_event(t, name, node=node, parent=parent,
+                                 attrs=attrs or None)
+
+    def record_event(
+        self,
+        t: float,
+        name: str,
+        node: Optional[int] = None,
+        parent: Optional[Span] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> Span:
+        """Point-event variant taking attrs as a dict — for facades whose
+        attribute keys may collide with this signature's parameter names."""
+        span = self._append(
+            Span(
+                next(self._ids),
+                name,
+                float(t),
+                node=node,
+                parent_id=parent.span_id if parent is not None else None,
+                attrs=attrs,
+            )
+        )
+        span.end = span.start
+        return span
+
+    # -- introspection -------------------------------------------------------
+
+    def records(self, name: Optional[str] = None) -> List[Span]:
+        """Recorded spans in order, optionally filtered by name."""
+        if name is None:
+            return list(self._records)
+        return [s for s in self._records if s.name == name]
+
+    def count(self, name: str) -> int:
+        return sum(1 for s in self._records if s.name == name)
+
+    def children_of(self, span: Span) -> List[Span]:
+        """Direct children of ``span`` (parent-link navigation)."""
+        return [s for s in self._records if s.parent_id == span.span_id]
+
+    def clear(self) -> None:
+        """Drop all records (the drop counter keeps its tally)."""
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._records)

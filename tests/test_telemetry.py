@@ -1,0 +1,520 @@
+"""Tests for the telemetry subsystem: registry, spans, snapshots,
+exporters, the report renderer, and the determinism regression.
+
+The load-bearing test here is :class:`TestBitIdenticalRegression`: a run
+with rich telemetry enabled must produce byte-identical simulation
+output to the same run with telemetry disabled, on both the serial and
+process-pool backends.  Telemetry that perturbs results is worse than no
+telemetry at all.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis.seeds import run_seed_sweep
+from repro.core.config import CoCoAConfig
+from repro.experiments.metrics import summarize_errors
+from repro.experiments.runner import run_scenario
+from repro.orchestrator.cache import ResultCache
+from repro.orchestrator.executor import run_sweep
+from repro.orchestrator.jobs import seed_jobs
+from repro.sim.trace import TraceLog
+from repro.telemetry import (
+    COUNT_EDGES,
+    NULL_REGISTRY,
+    Histogram,
+    MetricsRegistry,
+    SpanTracer,
+    Telemetry,
+    TelemetrySnapshot,
+    global_registry,
+    merge_snapshots,
+    prometheus_text,
+    read_jsonl,
+    render_report,
+    set_global_registry,
+    span_records,
+    write_jsonl,
+)
+from repro.util.geometry import Rect
+
+
+def tiny_config(**overrides):
+    """A scenario small enough for per-test simulation."""
+    defaults = dict(
+        area=Rect.square(60.0),
+        n_robots=8,
+        n_anchors=4,
+        beacon_period_s=20.0,
+        duration_s=45.0,
+        calibration_samples=6000,
+    )
+    defaults.update(overrides)
+    return CoCoAConfig(**defaults)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("hits").inc(-1.0)
+
+    def test_gauge_set_and_set_max(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(5.0)
+        gauge.set_max(3.0)
+        assert gauge.value == 5.0
+        gauge.set_max(9.0)
+        assert gauge.value == 9.0
+
+    def test_histogram_buckets_and_quantiles(self):
+        hist = Histogram("x", edges=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.5, 3.0, 10.0):
+            hist.observe(value)
+        assert hist.bucket_counts == [1, 2, 1, 1]
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(16.5)
+        assert hist.mean == pytest.approx(3.3)
+        assert 0.5 <= hist.quantile(0.5) <= 2.0
+        assert hist.quantile(1.0) == 10.0
+        assert hist.quantile(0.0) >= 0.5
+
+    def test_histogram_empty_quantile_is_zero(self):
+        assert Histogram("x", edges=(1.0,)).quantile(0.9) == 0.0
+
+    def test_histogram_rejects_bad_edges(self):
+        with pytest.raises(ValueError):
+            Histogram("x", edges=())
+        with pytest.raises(ValueError):
+            Histogram("x", edges=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("x", edges=(1.0, 1.0))
+
+    def test_registry_memoizes(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_metrics_flattens_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(7.0)
+        hist = registry.histogram("h", COUNT_EDGES)
+        hist.observe(3.0)
+        metrics = registry.metrics()
+        assert metrics["c"] == 2.0
+        assert metrics["g"] == 7.0
+        assert metrics["h_count"] == 1.0
+        assert metrics["h_sum"] == 3.0
+        assert "h_p50" in metrics and "h_p90" in metrics
+        assert list(metrics) == sorted(metrics)
+
+    def test_null_registry_absorbs_everything(self):
+        NULL_REGISTRY.counter("a").inc(5)
+        NULL_REGISTRY.gauge("b").set_max(9.0)
+        NULL_REGISTRY.histogram("c").observe(1.0)
+        assert NULL_REGISTRY.metrics() == {}
+        assert not NULL_REGISTRY.enabled
+        # The shim shares one instrument: nothing is ever allocated.
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("z")
+
+    def test_global_registry_defaults_to_shim(self):
+        assert global_registry() is NULL_REGISTRY
+        try:
+            registry = MetricsRegistry()
+            set_global_registry(registry)
+            assert global_registry() is registry
+        finally:
+            set_global_registry(None)
+        assert global_registry() is NULL_REGISTRY
+
+
+class TestSpanTracer:
+    def test_span_lifecycle_and_duration(self):
+        tracer = SpanTracer()
+        span = tracer.start_span("window", 10.0, node=3, index=1)
+        assert not span.closed
+        assert span.duration_s == 0.0
+        tracer.end_span(span, 13.0)
+        assert span.closed
+        assert span.duration_s == pytest.approx(3.0)
+        assert span.attrs == {"index": 1}
+
+    def test_end_before_start_rejected(self):
+        tracer = SpanTracer()
+        span = tracer.start_span("w", 10.0)
+        with pytest.raises(ValueError):
+            tracer.end_span(span, 9.0)
+
+    def test_parent_links_and_children(self):
+        tracer = SpanTracer()
+        parent = tracer.start_span("beacon_round", 0.0, node=1)
+        child = tracer.event(1.0, "beacon_rx", node=2, parent=parent)
+        other = tracer.event(2.0, "beacon_rx", node=3)
+        assert child.parent_id == parent.span_id
+        assert other.parent_id is None
+        assert tracer.children_of(parent) == [child]
+
+    def test_point_events_are_closed_spans(self):
+        tracer = SpanTracer()
+        span = tracer.event(5.0, "tick", node=None, rssi=-70)
+        assert span.closed
+        assert span.start == span.end == 5.0
+        assert span.attrs == {"rssi": -70}
+
+    def test_ring_buffer_drops_oldest(self):
+        tracer = SpanTracer(max_records=3)
+        for t in range(5):
+            tracer.event(float(t), "e", seq=t)
+        assert len(tracer) == 3
+        assert tracer.dropped_count == 2
+        assert [s.attrs["seq"] for s in tracer] == [2, 3, 4]
+
+    def test_invalid_max_records_rejected(self):
+        with pytest.raises(ValueError):
+            SpanTracer(max_records=0)
+
+    def test_clear_keeps_drop_tally(self):
+        tracer = SpanTracer(max_records=1)
+        tracer.event(0.0, "a")
+        tracer.event(1.0, "b")
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped_count == 1
+
+    def test_records_filter_and_count(self):
+        tracer = SpanTracer()
+        tracer.event(0.0, "a")
+        tracer.event(1.0, "b")
+        tracer.event(2.0, "a")
+        assert tracer.count("a") == 2
+        assert [s.start for s in tracer.records("a")] == [0.0, 2.0]
+
+
+class TestTraceLogFacade:
+    def test_only_enabled_categories_recorded(self):
+        log = TraceLog(categories=("mac",))
+        log.emit(1.0, "mac", node=2, kind="send")
+        log.emit(2.0, "phy", node=2)
+        assert len(log) == 1
+        record = log.records()[0]
+        assert record.time == 1.0
+        assert record.category == "mac"
+        assert record.node == 2
+        assert record.details == {"kind": "send"}
+
+    def test_detail_keys_may_shadow_parameter_names(self):
+        # "node"/"parent" inside details must not collide with the
+        # tracer's own record_event parameters.
+        log = TraceLog(categories=("route",))
+        log.emit(1.0, "route", node=1, parent=7)
+        assert log.records()[0].details == {"parent": 7}
+
+    def test_ring_buffer_mode(self):
+        log = TraceLog(categories=("e",), max_records=2)
+        for t in range(4):
+            log.emit(float(t), "e")
+        assert log.max_records == 2
+        assert len(log) == 2
+        assert log.dropped_count == 2
+        assert [r.time for r in log] == [2.0, 3.0]
+
+    def test_unbounded_by_default(self):
+        log = TraceLog(categories=("e",))
+        assert log.max_records is None
+        for t in range(100):
+            log.emit(float(t), "e")
+        assert log.dropped_count == 0
+        assert log.count("e") == 100
+
+    def test_spans_visible_through_tracer_property(self):
+        log = TraceLog(categories=("sync",))
+        log.emit(3.0, "sync", node=4)
+        assert [s.name for s in log.tracer] == ["sync"]
+
+
+class TestSnapshot:
+    def test_merge_sums_by_default(self):
+        a = TelemetrySnapshot({"net_frames_sent": 2.0})
+        a.merge(TelemetrySnapshot({"net_frames_sent": 3.0}))
+        assert a.get("net_frames_sent") == 5.0
+        assert a.n_runs == 2
+
+    def test_merge_max_and_last_metrics(self):
+        a = TelemetrySnapshot(
+            {"sim_max_queue_depth": 10.0, "run_n_robots": 8.0}
+        )
+        a.merge(TelemetrySnapshot(
+            {"sim_max_queue_depth": 7.0, "run_n_robots": 16.0}
+        ))
+        assert a.get("sim_max_queue_depth") == 10.0  # high-water mark
+        assert a.get("run_n_robots") == 16.0  # config echo: last wins
+
+    def test_merge_snapshots_is_associative_over_sums(self):
+        parts = [TelemetrySnapshot({"x": float(i)}) for i in range(4)]
+        left = merge_snapshots(parts[:2])
+        left.merge(merge_snapshots(parts[2:]))
+        flat = merge_snapshots(parts)
+        assert left.metrics == flat.metrics
+        assert left.n_runs == flat.n_runs == 4
+
+    def test_record_round_trip(self):
+        snapshot = TelemetrySnapshot({"b": 2.0, "a": 1.0}, n_runs=3)
+        record = snapshot.as_record()
+        assert record == {"n_runs": 3, "metrics": {"a": 1.0, "b": 2.0}}
+        back = TelemetrySnapshot.from_mapping(
+            record["metrics"], n_runs=record["n_runs"]
+        )
+        assert back.metrics == snapshot.metrics
+        assert back.n_runs == 3
+
+
+class TestExporters:
+    def test_jsonl_round_trip_skips_corrupt_lines(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        write_jsonl(path, [{"a": 1}, {"b": 2.5}])
+        with open(path, "a") as handle:
+            handle.write("{not json\n\n")
+        write_jsonl(path, [{"c": 3}], mode="a")
+        assert read_jsonl(path) == [{"a": 1}, {"b": 2.5}, {"c": 3}]
+
+    def test_prometheus_text_from_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("frames_sent").inc(4)
+        hist = registry.histogram("beacons", edges=(1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(5.0)
+        text = prometheus_text(registry)
+        assert "# TYPE repro_frames_sent counter" in text
+        assert "repro_frames_sent 4.0" in text
+        assert "# TYPE repro_beacons histogram" in text
+        assert 'repro_beacons_bucket{le="1.0"} 1' in text
+        assert 'repro_beacons_bucket{le="+Inf"} 2' in text
+        assert "repro_beacons_count 2" in text
+        # Flattened scalars must not double-render next to the buckets.
+        assert "# TYPE repro_beacons_count" not in text
+
+    def test_prometheus_text_from_snapshot(self):
+        snapshot = TelemetrySnapshot({"run_n_robots": 8.0, "fixes": 3.0})
+        text = prometheus_text(snapshot)
+        assert "# TYPE repro_run_n_robots gauge" in text
+        assert "# TYPE repro_fixes counter" in text
+
+    def test_span_records_are_json_serializable(self):
+        tracer = SpanTracer()
+        parent = tracer.start_span("round", 1.0, node=1)
+        tracer.end_span(parent, 2.0)
+        tracer.event(1.5, "rx", node=2, parent=parent)
+        records = span_records(tracer)
+        assert len(records) == 2
+        assert all(r["record"] == "span" for r in records)
+        assert records[1]["parent_id"] == records[0]["span_id"]
+        json.dumps(records)
+
+
+class TestReportRenderer:
+    def test_sections_render_from_empty_snapshot(self):
+        text = render_report(TelemetrySnapshot({}))
+        for section in ("network", "estimator", "radio", "energy",
+                        "multicast", "simulation"):
+            assert section in text
+        assert "orchestrator" not in text
+        assert "tracing" not in text
+
+    def test_sweep_and_tracing_sections(self):
+        snapshot = TelemetrySnapshot({
+            "trace_spans_recorded": 12.0,
+            "trace_spans_dropped": 2.0,
+            "orchestrator_job_cpu_s": 1.5,
+        })
+        sweep = {
+            "jobs": 4, "cache_hits": 3, "cache_misses": 1, "retried": 0,
+            "wall_s": 2.0, "n_workers": 2,
+            "job_wall_p50_s": 0.5, "job_wall_p90_s": 0.9,
+        }
+        text = render_report(snapshot, sweep=sweep)
+        assert "hit rate 75.0%" in text
+        assert "job wall p50 0.50 s" in text
+        assert "spans recorded 12, dropped 2" in text
+        assert "job cpu total 1.50 s" in text
+
+    def test_drop_causes_listed(self):
+        text = render_report(TelemetrySnapshot({"net_drops_crc": 7.0}))
+        assert "crc 7" in text
+        for cause in ("below-sensitivity", "collided", "asleep",
+                      "half-duplex", "jammed", "brownout"):
+            assert cause in text
+
+
+class TestRunSnapshots:
+    """End-to-end: every run carries a base snapshot; rich mode adds to it."""
+
+    def test_base_snapshot_always_present(self):
+        result = run_scenario(tiny_config())
+        snapshot = result.telemetry
+        assert snapshot is not None
+        assert snapshot.n_runs == 1
+        assert snapshot.get("run_n_robots") == 8.0
+        assert snapshot.get("sim_events_processed") > 0
+        assert snapshot.get("net_frames_sent") > 0
+        assert snapshot.get("energy_total_j") > 0
+        assert snapshot.get("coordinator_windows_run") > 0
+        # Rich-only keys absent without a Telemetry handle.
+        assert "trace_spans_recorded" not in snapshot.metrics
+
+    def test_rich_snapshot_adds_registry_and_spans(self):
+        telemetry = Telemetry.enabled()
+        result = run_scenario(tiny_config(), telemetry=telemetry)
+        snapshot = result.telemetry
+        assert snapshot.get("trace_spans_recorded") > 0
+        assert snapshot.get("trace_spans_dropped") == 0.0
+        assert snapshot.get("estimator_beacons_per_window_count") > 0
+        rounds = telemetry.tracer.records("beacon_round")
+        assert rounds
+        assert all(s.closed for s in rounds[:-1])
+        # Receive events hang off their window span.
+        rx = telemetry.tracer.records("beacon_rx")
+        assert rx
+        parent_ids = {s.span_id for s in rounds}
+        assert all(s.parent_id in parent_ids for s in rx)
+
+
+class TestBitIdenticalRegression:
+    """Rich telemetry must never change simulation output."""
+
+    SEEDS = (1, 2)
+
+    def _summaries(self, results):
+        return [
+            summarize_errors(r.errors, skip_first_s=10.0) for r in results
+        ]
+
+    def test_single_run_bit_identical(self):
+        plain = run_scenario(tiny_config())
+        rich = run_scenario(tiny_config(), telemetry=Telemetry.enabled())
+        assert plain.errors.tobytes() == rich.errors.tobytes()
+        assert plain.times.tolist() == rich.times.tolist()
+        assert plain.total_energy_j() == rich.total_energy_j()
+        assert self._summaries([plain]) == self._summaries([rich])
+
+    def test_serial_sweep_bit_identical(self):
+        off = run_sweep(seed_jobs(tiny_config(), self.SEEDS))
+        on = run_sweep(
+            seed_jobs(tiny_config(), self.SEEDS, telemetry=True)
+        )
+        for a, b in zip(off.results, on.results):
+            assert a.errors.tobytes() == b.errors.tobytes()
+            assert a.beacons_sent == b.beacons_sent
+        assert self._summaries(off.results) == self._summaries(on.results)
+
+    def test_process_pool_sweep_bit_identical(self, tmp_path):
+        off = run_sweep(seed_jobs(tiny_config(), self.SEEDS), n_jobs=2)
+        on = run_sweep(
+            seed_jobs(tiny_config(), self.SEEDS, telemetry=True), n_jobs=2
+        )
+        for a, b in zip(off.results, on.results):
+            assert a.errors.tobytes() == b.errors.tobytes()
+            assert a.total_energy_j() == b.total_energy_j()
+        assert self._summaries(off.results) == self._summaries(on.results)
+
+    def test_telemetry_flag_does_not_change_fingerprint(self):
+        plain, rich = (
+            seed_jobs(tiny_config(), (1,), telemetry=flag)[0]
+            for flag in (False, True)
+        )
+        assert plain.fingerprint == rich.fingerprint
+
+    def test_seed_sweep_metrics_unchanged_by_telemetry(self, tmp_path):
+        off = run_seed_sweep(tiny_config(), seeds=self.SEEDS)
+        on = run_seed_sweep(
+            tiny_config(), seeds=self.SEEDS,
+            telemetry_path=str(tmp_path / "t.jsonl"),
+        )
+        assert off.error_time_averages_m == on.error_time_averages_m
+        assert off.energy_totals_j == on.energy_totals_j
+
+
+class TestSweepTelemetryStream:
+    def test_jsonl_has_one_job_record_per_job_plus_sweep(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        jobs = seed_jobs(tiny_config(), (1, 2), telemetry=True)
+        run_sweep(jobs, telemetry_path=path)
+        records = read_jsonl(path)
+        job_records = [r for r in records if r.get("record") == "job"]
+        sweep_records = [r for r in records if r.get("record") == "sweep"]
+        assert len(job_records) == 2
+        assert len(sweep_records) == 1
+        for record in job_records:
+            assert record["metrics"]["run_n_robots"] == 8.0
+            assert record["metrics"]["trace_spans_recorded"] > 0
+            assert not record["cached"]
+        assert sweep_records[0]["jobs"] == 2
+
+    def test_sweep_log_written_to_cache(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path / "c"))
+        run_sweep(seed_jobs(tiny_config(), (1, 2)), cache=cache)
+        records = cache.sweep_records()
+        assert len(records) == 1
+        assert records[0]["cache_misses"] == 2
+        run_sweep(seed_jobs(tiny_config(), (1, 2)), cache=cache)
+        records = cache.sweep_records()
+        assert len(records) == 2
+        assert records[1]["cache_hits"] == 2
+
+
+class TestReportCommand:
+    def _run_cli(self, argv):
+        out = io.StringIO()
+        from repro.cli import main
+
+        code = main(argv, out=out)
+        return code, out.getvalue()
+
+    def test_report_from_cache(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path / "c"))
+        run_sweep(seed_jobs(tiny_config(), (1, 2)), cache=cache)
+        code, output = self._run_cli(
+            ["report", "--cache-dir", str(tmp_path / "c")]
+        )
+        assert code == 0
+        assert "2 runs aggregated" in output
+        assert "drops by cause" in output
+        assert "sleep fraction" in output
+        assert "cache hits 0, misses 2" in output
+
+    def test_report_from_jsonl_and_prometheus(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        run_sweep(
+            seed_jobs(tiny_config(), (1, 2), telemetry=True),
+            telemetry_path=path,
+        )
+        code, output = self._run_cli(["report", "--from", path])
+        assert code == 0
+        assert "2 runs aggregated" in output
+        assert "spans recorded" in output
+        code, prom = self._run_cli(["report", "--from", path,
+                                    "--prometheus"])
+        assert code == 0
+        assert "# TYPE repro_net_frames_sent counter" in prom
+
+    def test_report_empty_cache_fails_cleanly(self, tmp_path):
+        code, output = self._run_cli(
+            ["report", "--cache-dir", str(tmp_path / "nothing")]
+        )
+        assert code == 1
+        assert "no telemetry snapshots" in output
+
+    def test_report_missing_jsonl_fails_cleanly(self, tmp_path):
+        code, output = self._run_cli(
+            ["report", "--from", str(tmp_path / "missing.jsonl")]
+        )
+        assert code == 2
+        assert "cannot read" in output
