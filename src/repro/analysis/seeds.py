@@ -56,6 +56,7 @@ class SeedSweepResult:
     def relative_spread(self) -> float:
         """Std/mean of the error metric — the seed-sensitivity measure."""
         values = np.asarray(self.error_time_averages_m)
+        # repro: noqa[REP004] exact-zero guard before dividing by the mean
         if values.mean() == 0.0:
             return 0.0
         return float(values.std(ddof=1) / values.mean())

@@ -61,6 +61,7 @@ def mean_confidence_interval(
         raise ValueError("confidence must be in (0, 1), got %r" % confidence)
     mean = float(values.mean())
     sem = float(stats.sem(values))
+    # repro: noqa[REP004] sem is exactly 0.0 only for identical samples
     if sem == 0.0:
         return ConfidenceInterval(mean, mean, mean, confidence, values.size)
     half = float(

@@ -9,6 +9,7 @@ Usage (installed package):
     python -m repro resilience --duration 600 --jobs 4
     python -m repro report --cache-dir .repro_cache
     python -m repro calibrate
+    python -m repro lint src tests --json
 
 Every command prints plain-text tables; nothing is plotted, so the tool
 works in any terminal and its output can be diffed in CI.  ``sweep`` and
@@ -18,6 +19,9 @@ worker processes and ``--cache`` to memoize finished runs on disk under
 commands accept ``--telemetry out.jsonl`` to run with rich telemetry and
 dump per-job metric snapshots; ``repro report`` renders the
 per-subsystem summary of a cached sweep or such a JSONL dump.
+``repro lint`` statically enforces the determinism contract
+(REP001-REP007, see DESIGN.md) and exits nonzero on findings so it can
+gate CI.
 """
 
 from __future__ import annotations
@@ -158,6 +162,26 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--prometheus", action="store_true",
                         help="emit Prometheus exposition text instead of "
                              "the human-readable report")
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically enforce the determinism contract (REP001-REP007)",
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit findings as JSON instead of text")
+    lint.add_argument("--select", default=None, metavar="CODES",
+                      help="comma-separated codes to run (e.g. REP001,REP004)")
+    lint.add_argument("--ignore", default=None, metavar="CODES",
+                      help="comma-separated codes to skip")
+    lint.add_argument("--baseline", default=None, metavar="PATH",
+                      help="suppress findings recorded in this baseline file")
+    lint.add_argument("--write-baseline", default=None, metavar="PATH",
+                      help="record current findings as the grandfathered "
+                           "baseline and exit 0")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print every rule code with its summary and exit")
 
     calibrate = sub.add_parser(
         "calibrate", help="run the offline calibration and print the table"
@@ -491,6 +515,48 @@ def cmd_report(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace, out) -> int:
+    from repro.lint import (
+        FRAMEWORK_CODES,
+        LintUsageError,
+        all_rules,
+        format_human,
+        format_json,
+        lint_paths,
+        parse_code_list,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        for code, cls in all_rules().items():
+            print("%s  %-22s %s" % (code, cls.name, cls.summary), file=out)
+        for code, summary in sorted(FRAMEWORK_CODES.items()):
+            print("%s  %-22s %s" % (code, "(framework)", summary), file=out)
+        return 0
+    try:
+        report = lint_paths(
+            args.paths,
+            select=parse_code_list(args.select, "--select"),
+            ignore=parse_code_list(args.ignore, "--ignore"),
+            baseline_path=args.baseline,
+        )
+    except LintUsageError as exc:
+        print("lint: %s" % exc, file=out)
+        return 2
+    if args.write_baseline is not None:
+        write_baseline(args.write_baseline, report.findings)
+        print("wrote %d finding%s to baseline %s"
+              % (len(report.findings),
+                 "" if len(report.findings) == 1 else "s",
+                 args.write_baseline), file=out)
+        return 0
+    if args.json:
+        print(format_json(report), file=out)
+    else:
+        print(format_human(report), file=out)
+    return report.exit_code
+
+
 def cmd_calibrate(args: argparse.Namespace, out) -> int:
     from repro.core.calibration import build_pdf_table
     from repro.net.phy import PathLossModel
@@ -532,6 +598,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return cmd_resilience(args, out)
     if args.command == "report":
         return cmd_report(args, out)
+    if args.command == "lint":
+        return cmd_lint(args, out)
     if args.command == "calibrate":
         return cmd_calibrate(args, out)
     parser.error("unknown command %r" % args.command)

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.pdf_table import PdfTable
 from repro.util.geometry import Rect, Vec2
+from repro.util.validation import check_positive
 
 
 class GridBayesFilter:
@@ -38,10 +39,7 @@ class GridBayesFilter:
     """
 
     def __init__(self, area: Rect, resolution_m: float = 2.0) -> None:
-        if resolution_m <= 0:
-            raise ValueError(
-                "resolution_m must be positive, got %r" % resolution_m
-            )
+        check_positive("resolution_m", resolution_m)
         if resolution_m > min(area.width, area.height):
             raise ValueError("resolution exceeds the deployment area")
         self._area = area

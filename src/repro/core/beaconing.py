@@ -22,6 +22,7 @@ from repro.net.interface import NetworkInterface
 from repro.net.packet import Packet
 from repro.sim.engine import Simulator
 from repro.util.geometry import Vec2
+from repro.util.validation import check_non_negative, check_positive
 
 BEACON_KIND = "beacon"
 #: x and y coordinates as two 8-byte doubles — "the location (x and y
@@ -71,15 +72,9 @@ class AnchorBeaconer:
         slam_error_std_m: float = 0.0,
         position_fn: Optional[Callable[[], Vec2]] = None,
     ) -> None:
-        if k < 1:
-            raise ValueError("k must be at least 1, got %r" % k)
-        if window_s <= 0:
-            raise ValueError("window_s must be positive, got %r" % window_s)
-        if slam_error_std_m < 0:
-            raise ValueError(
-                "slam_error_std_m must be non-negative, got %r"
-                % slam_error_std_m
-            )
+        check_positive("k", k)
+        check_positive("window_s", window_s)
+        check_non_negative("slam_error_std_m", slam_error_std_m)
         self._sim = sim
         self._interface = interface
         self._mobility = mobility
@@ -96,8 +91,7 @@ class AnchorBeaconer:
 
     def set_window(self, window_s: float) -> None:
         """Adopt a new transmit window length (from a SYNC update)."""
-        if window_s <= 0:
-            raise ValueError("window_s must be positive, got %r" % window_s)
+        check_positive("window_s", window_s)
         self._window_s = window_s
 
     def start_window(self) -> None:

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.pdf_table import DistanceDistribution, PdfTable
 from repro.net.phy import PathLossModel, ReceiverModel
+from repro.util.validation import check_positive
 
 
 @dataclass(frozen=True)
@@ -83,8 +84,7 @@ def build_pdf_table(
         ValueError: if the campaign yields no populated bin (e.g. a
             sensitivity above every sampled RSSI).
     """
-    if n_samples < 1:
-        raise ValueError("n_samples must be positive, got %r" % n_samples)
+    check_positive("n_samples", n_samples)
     if max_distance_m <= 1.0:
         raise ValueError(
             "max_distance_m must exceed 1 m, got %r" % max_distance_m

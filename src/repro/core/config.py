@@ -156,9 +156,10 @@ class CoCoAConfig:
                 % (self.transmit_window_s, self.beacon_period_s)
             )
         check_positive("beacons_per_window", self.beacons_per_window)
-        if not 0 < self.v_min <= self.v_max:
+        check_positive("v_min", self.v_min)
+        if self.v_min > self.v_max:
             raise ValueError(
-                "need 0 < v_min <= v_max, got %r / %r"
+                "need v_min <= v_max, got %r / %r"
                 % (self.v_min, self.v_max)
             )
         check_positive("duration_s", self.duration_s)

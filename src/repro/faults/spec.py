@@ -18,9 +18,9 @@ from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 from repro.util.validation import (
-    check_in_range,
     check_non_negative,
     check_positive,
+    check_probability,
 )
 
 
@@ -50,7 +50,7 @@ class BurstInterferenceSpec:
     def __post_init__(self) -> None:
         check_positive("mean_good_s", self.mean_good_s)
         check_positive("mean_bad_s", self.mean_bad_s)
-        check_in_range("bad_loss_prob", self.bad_loss_prob, 0.0, 1.0)
+        check_probability("bad_loss_prob", self.bad_loss_prob)
         check_non_negative("bad_noise_db", self.bad_noise_db)
 
     @property
@@ -92,7 +92,7 @@ class RssiBiasSpec:
     def __post_init__(self) -> None:
         check_non_negative("bias_std_db", self.bias_std_db)
         check_non_negative("drift_db_per_min", self.drift_db_per_min)
-        check_in_range("fraction_affected", self.fraction_affected, 0.0, 1.0)
+        check_probability("fraction_affected", self.fraction_affected)
 
     @property
     def enabled(self) -> bool:
@@ -121,7 +121,7 @@ class PayloadCorruptionSpec:
     corrupt_prob: float = 0.0
 
     def __post_init__(self) -> None:
-        check_in_range("corrupt_prob", self.corrupt_prob, 0.0, 1.0)
+        check_probability("corrupt_prob", self.corrupt_prob)
 
     @property
     def enabled(self) -> bool:
@@ -156,7 +156,7 @@ class BrownoutSpec:
     def __post_init__(self) -> None:
         check_non_negative("rate_per_hour", self.rate_per_hour)
         check_positive("mean_duration_s", self.mean_duration_s)
-        check_in_range("fraction_affected", self.fraction_affected, 0.0, 1.0)
+        check_probability("fraction_affected", self.fraction_affected)
 
     @property
     def enabled(self) -> bool:

@@ -1,0 +1,72 @@
+"""repro.lint — AST-based determinism & correctness linter.
+
+Statically enforces the simulation contract the reproduction's results
+rest on (see DESIGN.md, "Determinism contract"): seeded named RNG
+streams only (REP001), no wall-clock reads in sim code (REP002), no
+unsorted set iteration in result-producing code (REP003), no exact
+float equality (REP004), no mutable default arguments (REP005), frozen
+specs mutated only in ``__post_init__`` (REP006), and no blanket
+``except`` in the engine/channel hot paths (REP007).
+
+Run it as ``python -m repro lint src tests`` or programmatically::
+
+    from repro.lint import lint_paths
+    report = lint_paths(["src"])
+    assert report.exit_code == 0, [f.format() for f in report.findings]
+
+Suppress a deliberate deviation inline, justification mandatory::
+
+    rng = random.Random(seed)  # repro: noqa[REP001] seeded backoff jitter
+"""
+
+from repro.lint.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.driver import FileLintResult, LintContext, lint_source
+from repro.lint.findings import Finding
+from repro.lint.rules import (
+    BAD_NOQA_CODE,
+    FRAMEWORK_CODES,
+    PARSE_ERROR_CODE,
+    LintUsageError,
+    Rule,
+    all_rules,
+    known_codes,
+    parse_code_list,
+    register,
+)
+from repro.lint.runner import (
+    LintReport,
+    format_human,
+    format_json,
+    iter_python_files,
+    lint_paths,
+    lint_text,
+)
+
+__all__ = [
+    "BAD_NOQA_CODE",
+    "FRAMEWORK_CODES",
+    "PARSE_ERROR_CODE",
+    "FileLintResult",
+    "Finding",
+    "LintContext",
+    "LintReport",
+    "LintUsageError",
+    "Rule",
+    "all_rules",
+    "apply_baseline",
+    "format_human",
+    "format_json",
+    "iter_python_files",
+    "known_codes",
+    "lint_paths",
+    "lint_source",
+    "lint_text",
+    "load_baseline",
+    "parse_code_list",
+    "register",
+    "write_baseline",
+]

@@ -1,0 +1,82 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline lets the lint gate turn on while a violation backlog still
+exists: known findings are recorded once (``repro lint --write-baseline
+lint-baseline.json``) and suppressed on subsequent runs, so only *new*
+violations fail CI.  Keys are line-independent (path + code + message)
+with an occurrence count, so unrelated edits that shift line numbers do
+not invalidate entries — but any *new* instance of a baselined message
+in the same file still surfaces once the count is exceeded.
+
+The tree is currently clean, so no baseline file is committed; the
+mechanism exists for future grandfathering and for downstream forks.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.rules import LintUsageError
+
+BASELINE_VERSION = 1
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    """Record the given findings as the grandfathered set."""
+    counts = Counter(f.baseline_key for f in findings)
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": {key: counts[key] for key in sorted(counts)},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    """Load a baseline file; raises LintUsageError on any defect."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise LintUsageError("cannot read baseline %s: %s" % (path, exc))
+    except ValueError as exc:
+        raise LintUsageError("baseline %s is not JSON: %s" % (path, exc))
+    if not isinstance(payload, dict) or payload.get(
+        "version"
+    ) != BASELINE_VERSION:
+        raise LintUsageError(
+            "baseline %s has unsupported format (want version %d)"
+            % (path, BASELINE_VERSION)
+        )
+    entries = payload.get("entries")
+    if not isinstance(entries, dict):
+        raise LintUsageError("baseline %s is missing 'entries'" % path)
+    cleaned: Dict[str, int] = {}
+    for key, count in entries.items():
+        if not isinstance(key, str) or not isinstance(count, int):
+            raise LintUsageError(
+                "baseline %s has a malformed entry: %r" % (path, key)
+            )
+        cleaned[key] = count
+    return cleaned
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Dict[str, int]
+) -> Tuple[List[Finding], int]:
+    """Split findings into (surviving, number suppressed by baseline)."""
+    remaining = dict(entries)
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        key = finding.baseline_key
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed

@@ -1,0 +1,293 @@
+"""Single-parse multi-visitor lint driver.
+
+One :func:`lint_source` call parses a file exactly once, builds one
+parent map and one import table, then walks the AST exactly once,
+dispatching each node to every rule that declared a ``visit_<NodeType>``
+method.  Inline suppressions use::
+
+    risky_call()  # repro: noqa[REP001] one-line justification
+
+or, when the line has no room (or the statement spans lines), a
+standalone comment applying to the line directly below it::
+
+    # repro: noqa[REP001] one-line justification
+    risky_call()
+
+The justification is mandatory: a bare ``# repro: noqa[REP001]`` does
+*not* suppress and additionally raises :data:`~repro.lint.rules.BAD_NOQA_CODE`,
+so every deviation from the determinism contract is documented at the
+offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.lint.findings import Finding
+from repro.lint.rules import BAD_NOQA_CODE, PARSE_ERROR_CODE, Rule
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\[([A-Za-z0-9_,\s]+)\]([^\r\n]*)"
+)
+
+#: Path components marking the sim-facing packages whose code runs under
+#: simulated time (REP002/REP003 scope).
+SIM_PACKAGES = frozenset(
+    {"core", "sim", "net", "multicast", "mobility", "energy", "faults"}
+)
+
+_SCOPE_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _parts_after_repro(path: str) -> Optional[Tuple[str, ...]]:
+    """Path components after the last ``repro`` package directory.
+
+    ``src/repro/core/config.py`` -> ``("core", "config.py")``;
+    ``tests/test_x.py`` -> ``None`` (not inside the package).
+    """
+    parts = [p for p in path.replace("\\", "/").split("/") if p]
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return tuple(parts[index + 1:])
+    return None
+
+
+def _collect_imports(tree: ast.AST) -> Tuple[Dict[str, str], Dict[str, str]]:
+    """Map local names to the modules / objects they are bound to.
+
+    Returns ``(modules, names)`` where ``modules`` maps an alias to a
+    dotted module path (``np`` -> ``numpy``) and ``names`` maps a
+    from-imported name to its dotted origin (``randint`` ->
+    ``random.randint``).
+    """
+    modules: Dict[str, str] = {}
+    names: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    modules[alias.asname] = alias.name
+                else:
+                    # ``import numpy.random`` binds the name ``numpy``.
+                    top = alias.name.split(".")[0]
+                    modules[top] = top
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports never alias stdlib modules
+            for alias in node.names:
+                local = alias.asname or alias.name
+                names[local] = "%s.%s" % (node.module, alias.name)
+    return modules, names
+
+
+@dataclass
+class _Suppression:
+    codes: Tuple[str, ...]
+    justified: bool
+    col: int
+    comment_line: int
+
+
+def _scan_noqa(lines: Sequence[str]) -> Dict[int, _Suppression]:
+    """Find ``# repro: noqa[...]`` comments, keyed by the 1-based line
+    they suppress.
+
+    An inline comment suppresses its own line; a comment that is alone
+    on its line suppresses the line directly below it.
+    """
+    found: Dict[int, _Suppression] = {}
+    for lineno, line in enumerate(lines, start=1):
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        codes = tuple(
+            c.strip().upper() for c in match.group(1).split(",") if c.strip()
+        )
+        justification = match.group(2).strip()
+        standalone = not line[:match.start()].strip()
+        found[lineno + 1 if standalone else lineno] = _Suppression(
+            codes=codes,
+            justified=bool(justification),
+            col=match.start(),
+            comment_line=lineno,
+        )
+    return found
+
+
+class LintContext:
+    """Per-file state shared by every rule.
+
+    Exposes the parsed tree, a parent map (rules often need *where* a
+    node sits: inside ``__post_init__``, as a call argument, ...), the
+    file's import table, and package-scope predicates derived from the
+    path.
+    """
+
+    def __init__(self, path: str, text: str, tree: ast.AST) -> None:
+        self.path = path.replace("\\", "/")
+        self.lines = text.splitlines()
+        self.tree = tree
+        self.rel_parts = _parts_after_repro(self.path)
+        self.modules, self.names = _collect_imports(tree)
+        self.findings: List[Finding] = []
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    # -- reporting ----------------------------------------------------
+
+    def report(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=code,
+            message=message,
+        ))
+
+    # -- tree navigation ----------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        """Nearest enclosing function/lambda, or None at module level."""
+        current = self._parents.get(node)
+        while current is not None:
+            if isinstance(current, _SCOPE_TYPES):
+                return current
+            current = self._parents.get(current)
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> Optional[ast.ClassDef]:
+        current = self._parents.get(node)
+        while current is not None:
+            if isinstance(current, ast.ClassDef):
+                return current
+            current = self._parents.get(current)
+        return None
+
+    # -- name resolution ----------------------------------------------
+
+    def resolve_name(self, expr: ast.AST) -> Optional[str]:
+        """Dotted origin of a name or attribute chain, or None.
+
+        Follows the file's imports: with ``import numpy as np``,
+        ``np.random.seed`` resolves to ``"numpy.random.seed"``; with
+        ``from random import randint``, ``randint`` resolves to
+        ``"random.randint"``.  Unimported bare names resolve to
+        themselves (``object.__setattr__`` -> ``"object.__setattr__"``).
+        """
+        chain: List[str] = []
+        node = expr
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        chain.reverse()
+        base = node.id
+        origin = self.modules.get(base) or self.names.get(base) or base
+        return ".".join([origin] + chain)
+
+    # -- path scoping -------------------------------------------------
+
+    def in_repro_package(self) -> bool:
+        return self.rel_parts is not None
+
+    def in_packages(self, packages) -> bool:
+        """Is this file inside one of the named repro subpackages?"""
+        return (
+            self.rel_parts is not None
+            and len(self.rel_parts) > 1
+            and self.rel_parts[0] in packages
+        )
+
+    def is_module(self, *parts: str) -> bool:
+        """Exact match on the path relative to the repro package root."""
+        return self.rel_parts == parts
+
+
+@dataclass
+class FileLintResult:
+    """Findings of one file plus suppression accounting."""
+
+    findings: List[Finding]
+    noqa_suppressed: int = 0
+
+
+def _build_dispatch(
+    rule_classes: Sequence[Type[Rule]],
+) -> Dict[str, List[Tuple[Rule, str]]]:
+    dispatch: Dict[str, List[Tuple[Rule, str]]] = {}
+    for cls in rule_classes:
+        rule = cls()
+        for attr in dir(rule):
+            if attr.startswith("visit_"):
+                dispatch.setdefault(attr[len("visit_"):], []).append(
+                    (rule, attr)
+                )
+    return dispatch
+
+
+def lint_source(
+    text: str,
+    path: str,
+    rule_classes: Sequence[Type[Rule]],
+) -> FileLintResult:
+    """Lint one file's source text with the given rules."""
+    try:
+        tree = ast.parse(text)
+    except SyntaxError as exc:
+        finding = Finding(
+            path=path.replace("\\", "/"),
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            code=PARSE_ERROR_CODE,
+            message="syntax error: %s" % (exc.msg or "invalid syntax"),
+        )
+        return FileLintResult(findings=[finding])
+
+    ctx = LintContext(path, text, tree)
+    dispatch = _build_dispatch(rule_classes)
+    if dispatch:
+        for node in ast.walk(tree):
+            handlers = dispatch.get(type(node).__name__)
+            if not handlers:
+                continue
+            for rule, attr in handlers:
+                getattr(rule, attr)(node, ctx)
+
+    suppressions = _scan_noqa(ctx.lines)
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in sorted(ctx.findings):
+        entry = suppressions.get(finding.line)
+        if (
+            entry is not None
+            and entry.justified
+            and finding.code in entry.codes
+        ):
+            suppressed += 1
+            continue
+        kept.append(finding)
+    for lineno in sorted(suppressions):
+        entry = suppressions[lineno]
+        if not entry.justified:
+            kept.append(Finding(
+                path=ctx.path,
+                line=entry.comment_line,
+                col=entry.col,
+                code=BAD_NOQA_CODE,
+                message=(
+                    "suppression without justification: follow "
+                    "'# repro: noqa[%s]' with a one-line reason"
+                    % ",".join(entry.codes)
+                ),
+            ))
+    kept.sort()
+    return FileLintResult(findings=kept, noqa_suppressed=suppressed)

@@ -112,6 +112,7 @@ class ScriptedMobility(MobilityModel):
         offset = 0.0
         for a, b in zip(points, points[1:]):
             duration = a.distance_to(b) / self._speed
+            # repro: noqa[REP004] exact-zero skip of degenerate segments
             if duration == 0.0:
                 continue
             segments.append((offset, offset + duration, a, b))

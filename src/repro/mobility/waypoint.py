@@ -134,6 +134,7 @@ class WaypointMobility(MobilityModel):
         dest = self._random_point()
         # Degenerate zero-length legs would stall time; redraw (the chance
         # of an exact coincidence is ~0 but redrawing costs nothing).
+        # repro: noqa[REP004] exact coincidence is the degenerate case
         while dest.distance_to(start) == 0.0:
             dest = self._random_point()
         speed = float(self._rng.uniform(self._v_min, self._v_max))

@@ -166,6 +166,7 @@ class ResultCache:
                 "fingerprint": fingerprint,
                 "job": job_name,
                 "wall_s": round(wall_s, 3),
+                # repro: noqa[REP002] manifest metadata, not a result
                 "written_at": time.time(),
             },
             sort_keys=True,

@@ -221,6 +221,7 @@ class ProcessPoolBackend:
         queue = deque(index for index, _ in pending)
         attempts = {index: 0 for index, _ in pending}
         failures = {index: 0 for index, _ in pending}
+        # repro: noqa[REP001] seeded per-sweep retry jitter, not sim-facing
         rng = random.Random(self.backoff_seed)
         pool = self._new_pool(len(pending))
         futures: Dict[object, int] = {}

@@ -70,6 +70,7 @@ class Vec2:
             ZeroDivisionError: if this is the zero vector.
         """
         n = self.norm()
+        # repro: noqa[REP004] exact-zero check before dividing by the norm
         if n == 0.0:
             raise ZeroDivisionError("cannot normalize the zero vector")
         return Vec2(self.x / n, self.y / n)

@@ -43,3 +43,16 @@ def check_in_range(
             "%s must be in [%r, %r], got %r" % (name, low, high, value)
         )
     return value
+
+
+def check_probability(name: str, p: Number) -> Number:
+    """Require ``0 <= p <= 1`` (a probability); return it for chaining.
+
+    NaN fails too: every comparison against NaN is false, so the range
+    test rejects it with the same message.
+    """
+    if not (0.0 <= p <= 1.0):
+        raise ValueError(
+            "%s must be a probability in [0, 1], got %r" % (name, p)
+        )
+    return p
