@@ -1,0 +1,176 @@
+"""Hot-path kernel microbenchmarks: each kernel vs. the loop it replaces.
+
+Three kernels are measured in isolation on Fig.-7-shaped inputs (the
+same shapes ``repro bench`` uses), plus the end-to-end pair on a small
+scenario.  The assertions are deliberately loose — they catch a kernel
+*regressing below its scalar reference*, not CI jitter:
+
+1. **Batched RSSI sampling** vs. the per-receiver scalar draw loop.
+2. **LUT density evaluation** vs. the exact per-bin evaluation.
+3. **Shared constraint fields** vs. per-robot recomputation.
+
+``repro bench`` (``src/repro/experiments/bench.py``) is the pinned,
+JSON-reporting flavor of the same measurements; this file is the
+interactive one (``pytest benchmarks/bench_hotpath.py --benchmark-only``).
+"""
+
+import time
+
+import numpy as np
+
+from conftest import scaled
+
+from repro.core.bayes import GridBayesFilter
+from repro.core.constraint_cache import ConstraintFieldCache
+from repro.experiments.bench import (
+    QUICK_DURATION_S,
+    pinned_config,
+    run_hotpath_bench,
+)
+from repro.kernels import KERNELS_ON
+from repro.util.geometry import Vec2
+
+
+def _best_of(fn, repeats=5):
+    """Minimum wall time over ``repeats`` calls (noise only adds)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _frame_distances(config, rng):
+    """One frame's receiver distances: everyone but the transmitter."""
+    return rng.uniform(
+        1.0, 0.75 * config.area.width, size=config.n_robots - 1
+    )
+
+
+def test_rssi_sampling_batched_vs_scalar(benchmark, report):
+    config = pinned_config()
+    phy = config.path_loss
+    distances = _frame_distances(config, np.random.default_rng(2006))
+    scalars = [float(d) for d in distances]
+
+    def scalar():
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            for d in scalars:
+                phy.sample_rssi(d, rng)
+
+    def batched():
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            phy.sample_rssi_batch(distances, rng)
+
+    benchmark.pedantic(batched, rounds=5, iterations=1)
+    batched_s = benchmark.stats.stats.min
+    best = _best_of(scalar)
+    report("Hot path - batched RSSI sampling", [
+        "scalar loop : %.4f s / 100 frames" % best,
+        "batched     : %.4f s / 100 frames" % batched_s,
+        "speedup     : %.2fx" % (best / batched_s),
+    ])
+    assert batched_s <= best * 1.25  # never materially slower
+
+
+def test_pdf_eval_lut_vs_exact(benchmark, report, calibration):
+    config = pinned_config()
+    table = calibration.table_for(config)
+    grid = GridBayesFilter(config.area, config.grid_resolution_m)
+    beacon = Vec2(62.0, 114.0)
+    distances = grid.compute_distance_field(beacon)
+    lo, hi = table.rssi_range
+    key = table.bin_key_for((lo + hi) / 2.0)
+    out = np.empty_like(distances)
+
+    def evaluate():
+        for _ in range(50):
+            table.pdf_for_key(key, distances, out=out)
+
+    table.set_lut(False)
+    best_exact = _best_of(evaluate)
+
+    table.set_lut(True, KERNELS_ON.lut_entries)
+    table.pdf_for_key(key, distances)  # build outside the timer
+    benchmark.pedantic(evaluate, rounds=5, iterations=1)
+    lut_s = benchmark.stats.stats.min
+    table.set_lut(False)
+    report("Hot path - LUT density evaluation", [
+        "exact : %.4f s / 50 grid evals" % best_exact,
+        "lut   : %.4f s / 50 grid evals" % lut_s,
+        "speedup: %.2fx" % (best_exact / lut_s),
+    ])
+    assert lut_s < best_exact
+
+
+def test_constraint_field_cached_vs_recompute(benchmark, report, calibration):
+    config = pinned_config()
+    table = calibration.table_for(config)
+    rng = np.random.default_rng(2006)
+    lo, hi = table.rssi_range
+    beacons = [
+        (
+            i,
+            Vec2(
+                float(rng.uniform(config.area.x_min, config.area.x_max)),
+                float(rng.uniform(config.area.y_min, config.area.y_max)),
+            ),
+            float(rng.uniform(lo, hi)),
+        )
+        for i in range(16)
+    ]
+
+    plain = GridBayesFilter(config.area, config.grid_resolution_m)
+    cached = GridBayesFilter(config.area, config.grid_resolution_m)
+    cached.attach_constraint_cache(ConstraintFieldCache(capacity=64))
+
+    def run(grid):
+        grid.reset_uniform()
+        for _ in range(4):
+            for anchor_id, beacon, rssi in beacons:
+                grid.apply_beacon(beacon, rssi, table, anchor_id=anchor_id)
+
+    table.set_lut(False)
+    best_plain = _best_of(lambda: run(plain))
+
+    table.set_lut(True, KERNELS_ON.lut_entries)
+    run(cached)  # warm the cache and LUTs outside the timer
+    benchmark.pedantic(lambda: run(cached), rounds=5, iterations=1)
+    cached_s = benchmark.stats.stats.min
+    table.set_lut(False)
+    report("Hot path - shared constraint fields", [
+        "recompute : %.4f s / 4 beacon rounds" % best_plain,
+        "cached    : %.4f s / 4 beacon rounds" % cached_s,
+        "speedup   : %.2fx" % (best_plain / cached_s),
+    ])
+    assert cached_s < best_plain
+
+
+def test_end_to_end_quick_report(report, tmp_path):
+    """The ``repro bench --quick`` shape, via the library entry point."""
+    duration = scaled(QUICK_DURATION_S, 600.0)
+    out = tmp_path / "BENCH_hotpath.json"
+    bench = run_hotpath_bench(
+        quick=duration <= QUICK_DURATION_S,
+        repeats=2,
+        out_path=str(out),
+    )
+    e2e = bench["end_to_end"]
+    report("Hot path - end to end (pinned Fig. 7 scenario)", [
+        "kernels off: p50 %.3f s  (%s events/s)" % (
+            e2e["kernels_off"]["wall_p50_s"],
+            e2e["kernels_off"]["events_per_s"],
+        ),
+        "kernels on : p50 %.3f s  (%s events/s)" % (
+            e2e["kernels_on"]["wall_p50_s"],
+            e2e["kernels_on"]["events_per_s"],
+        ),
+        "end-to-end speedup : %.2fx" % e2e["speedup"],
+        "hot-path speedup   : %.2fx (geometric mean of components)"
+        % bench["hotpath_speedup"],
+    ])
+    assert out.exists()
+    assert e2e["speedup"] > 0.8  # kernels must never cost wall-clock

@@ -10,6 +10,11 @@ Usage (installed package):
     python -m repro report --cache-dir .repro_cache
     python -m repro calibrate
     python -m repro lint src tests --json
+    python -m repro bench --quick
+
+``bench`` times the pinned Fig.-7 scenario with the hot-path kernels on
+and off plus each kernel's inner loop in isolation, and writes
+``BENCH_hotpath.json``; ``--min-speedup`` turns it into a CI gate.
 
 Every command prints plain-text tables; nothing is plotted, so the tool
 works in any terminal and its output can be diffed in CI.  ``sweep`` and
@@ -182,6 +187,21 @@ def build_parser() -> argparse.ArgumentParser:
                            "baseline and exit 0")
     lint.add_argument("--list-rules", action="store_true",
                       help="print every rule code with its summary and exit")
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark the hot-path kernels on the pinned Fig.-7 scenario",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="CI smoke shape: shorter scenario, fewer repeats")
+    bench.add_argument("--seed", type=int, default=1, help="master seed")
+    bench.add_argument("--repeats", type=_positive_int, default=None,
+                       help="end-to-end repeats per kernel variant")
+    bench.add_argument("--out", default="BENCH_hotpath.json",
+                       help="report path (BENCH_hotpath.json)")
+    bench.add_argument("--min-speedup", type=float, default=None,
+                       help="exit 1 if the end-to-end kernel speedup "
+                            "falls below this ratio")
 
     calibrate = sub.add_parser(
         "calibrate", help="run the offline calibration and print the table"
@@ -557,6 +577,46 @@ def cmd_lint(args: argparse.Namespace, out) -> int:
     return report.exit_code
 
 
+def cmd_bench(args: argparse.Namespace, out) -> int:
+    from repro.experiments.bench import run_hotpath_bench
+
+    report = run_hotpath_bench(
+        seed=args.seed,
+        quick=args.quick,
+        repeats=args.repeats,
+        out_path=args.out,
+    )
+    scenario = report["scenario"]
+    end = report["end_to_end"]
+    print("bench: %s, %d robots (%d anchors), %.0fs, seed=%d%s"
+          % (scenario["preset"], scenario["n_robots"],
+             scenario["n_anchors"], scenario["duration_s"], report["seed"],
+             " (quick)" if report["quick"] else ""), file=out)
+    print("scenario fingerprint: %s" % scenario["fingerprint"][:16],
+          file=out)
+    print("", file=out)
+    for label, key in (("kernels off", "kernels_off"),
+                       ("kernels on", "kernels_on")):
+        row = end[key]
+        print("  %-12s p50 %.3fs  p90 %.3fs  %.0f events/s"
+              % (label, row["wall_p50_s"], row["wall_p90_s"],
+                 row["events_per_s"]), file=out)
+    print("  end-to-end speedup: %.2fx" % end["speedup"], file=out)
+    print("", file=out)
+    print("components:", file=out)
+    for name, comp in report["components"].items():
+        print("  %-18s %.2fx" % (name, comp["speedup"]), file=out)
+    print("  hot-path speedup (geometric mean): %.2fx"
+          % report["hotpath_speedup"], file=out)
+    print("", file=out)
+    print("report written to %s" % args.out, file=out)
+    if args.min_speedup is not None and end["speedup"] < args.min_speedup:
+        print("FAIL: end-to-end speedup %.2fx below required %.2fx"
+              % (end["speedup"], args.min_speedup), file=out)
+        return 1
+    return 0
+
+
 def cmd_calibrate(args: argparse.Namespace, out) -> int:
     from repro.core.calibration import build_pdf_table
     from repro.net.phy import PathLossModel
@@ -600,6 +660,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return cmd_report(args, out)
     if args.command == "lint":
         return cmd_lint(args, out)
+    if args.command == "bench":
+        return cmd_bench(args, out)
     if args.command == "calibrate":
         return cmd_calibrate(args, out)
     parser.error("unknown command %r" % args.command)

@@ -55,6 +55,7 @@ class GridBayesFilter:
         # Scratch buffers reused by apply_beacon's hot path.
         self._dist_buf = np.empty((ny, nx))
         self._constraint_buf = np.empty((ny, nx))
+        self._cache = None
 
     @property
     def area(self) -> Rect:
@@ -68,6 +69,36 @@ class GridBayesFilter:
     def shape(self) -> Tuple[int, int]:
         """Grid shape as (rows, cols) = (ny, nx)."""
         return self._posterior.shape
+
+    @property
+    def grid_signature(self) -> str:
+        """Exact identifier of this filter's grid geometry.
+
+        Two filters with equal signatures index identical cell-center
+        arrays, so they may share cached distance/constraint fields.
+        Encoded from the exact area bounds (``float.hex`` — no rounding)
+        plus the grid shape.
+        """
+        return "%s:%s:%s:%s:%dx%d" % (
+            float(self._area.x_min).hex(),
+            float(self._area.y_min).hex(),
+            float(self._area.x_max).hex(),
+            float(self._area.y_max).hex(),
+            self._posterior.shape[0],
+            self._posterior.shape[1],
+        )
+
+    def attach_constraint_cache(self, cache) -> None:
+        """Share beacon fields with other filters on an identical grid.
+
+        Args:
+            cache: a :class:`~repro.core.constraint_cache.ConstraintFieldCache`
+                (or anything with its ``bind_grid`` / ``distance_field`` /
+                ``constraint_field`` protocol).  The cached path is
+                bit-identical to the uncached one; see the cache module.
+        """
+        cache.bind_grid(self.grid_signature)
+        self._cache = cache
 
     @property
     def posterior(self) -> np.ndarray:
@@ -94,8 +125,32 @@ class GridBayesFilter:
         self._beacons_applied = 0
         self._annihilations = 0
 
+    def compute_distance_field(
+        self, beacon: Vec2, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Cell-center distances to ``beacon`` (Equation 1's geometry).
+
+        The exact same in-place operation sequence as the historical
+        ``apply_beacon`` body, so results are bit-identical whether the
+        output lands in a scratch buffer or a cacheable fresh array.
+        """
+        if out is None:
+            distances = np.subtract(self._cell_x, beacon.x)
+        else:
+            distances = np.subtract(self._cell_x, beacon.x, out=out)
+        np.square(distances, out=distances)
+        dy = np.subtract(self._cell_y, beacon.y, out=self._constraint_buf)
+        np.square(dy, out=dy)
+        distances += dy
+        np.sqrt(distances, out=distances)
+        return distances
+
     def apply_beacon(
-        self, beacon: Vec2, rssi_dbm: float, table: PdfTable
+        self,
+        beacon: Vec2,
+        rssi_dbm: float,
+        table: PdfTable,
+        anchor_id: Optional[int] = None,
     ) -> None:
         """Incorporate one beacon: Equations (1) and (2).
 
@@ -104,17 +159,42 @@ class GridBayesFilter:
         from the newest constraint alone rather than dividing by zero; the
         newest measurement is the one most consistent with the robot's
         current position.
+
+        Args:
+            beacon: the anchor's claimed position.
+            rssi_dbm: measured signal strength.
+            table: the calibrated PDF table.
+            anchor_id: the claiming anchor; only used as part of the
+                constraint-cache key when a cache is attached.
         """
-        distances = self._dist_buf
-        np.subtract(self._cell_x, beacon.x, out=distances)
-        np.square(distances, out=distances)
-        dy = np.subtract(self._cell_y, beacon.y, out=self._constraint_buf)
-        np.square(dy, out=dy)
-        distances += dy
-        np.sqrt(distances, out=distances)
-        constraint = table.pdf(
-            rssi_dbm, distances, out=self._constraint_buf
-        )
+        cache = self._cache
+        if cache is None:
+            distances = self.compute_distance_field(
+                beacon, out=self._dist_buf
+            )
+            constraint = table.pdf(
+                rssi_dbm, distances, out=self._constraint_buf
+            )
+        else:
+            bin_key = table.bin_key_for(rssi_dbm)
+            constraint = cache.constraint_field(
+                anchor_id, beacon.x, beacon.y, bin_key
+            )
+            if constraint is None:
+                distances = cache.distance_field(beacon.x, beacon.y)
+                if distances is None:
+                    distances = cache.store_distance(
+                        beacon.x,
+                        beacon.y,
+                        self.compute_distance_field(beacon),
+                    )
+                constraint = cache.store_constraint(
+                    anchor_id,
+                    beacon.x,
+                    beacon.y,
+                    bin_key,
+                    table.pdf_for_key(bin_key, distances),
+                )
         self._posterior *= constraint
         total = self._posterior.sum()
         if total <= 1e-300 or not np.isfinite(total):

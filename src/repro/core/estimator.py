@@ -81,6 +81,11 @@ class PositionEstimator:
         watchdog: enable the posterior-health watchdog — a degenerate
             filter (see ``is_degenerate`` on the filter) is reset to the
             prior at window close instead of producing a junk fix.
+        constraint_cache: optional team-shared
+            :class:`~repro.core.constraint_cache.ConstraintFieldCache`.
+            Attached to the position filter when the filter supports it
+            (the grid filter does; the particle filter, whose particles
+            are per-robot, ignores it).  Bit-identical either way.
         anchor_expiry_s: if > 0, keep a per-anchor suspicion score that
             decays with this time constant; anchors above the quarantine
             threshold are ignored until their suspicion expires
@@ -121,6 +126,7 @@ class PositionEstimator:
         beacon_gate_slack_m: float = 10.0,
         watchdog: bool = False,
         anchor_expiry_s: float = 0.0,
+        constraint_cache=None,
     ) -> None:
         self._mode = mode
         self._area = area
@@ -160,6 +166,12 @@ class PositionEstimator:
                 self._filter = position_filter
             else:
                 self._filter = GridBayesFilter(area, grid_resolution_m)
+            if constraint_cache is not None:
+                attach = getattr(
+                    self._filter, "attach_constraint_cache", None
+                )
+                if attach is not None:
+                    attach(constraint_cache)
         self._dead_reckoner: Optional[DeadReckoning] = None
         if odometry is not None and mode is not LocalizationMode.RF_ONLY:
             self._dead_reckoner = DeadReckoning(start, initial_heading)
@@ -260,7 +272,9 @@ class PositionEstimator:
             self.beacons_gated += 1
             self._raise_suspicion(anchor_id, t)
             return
-        self._filter.apply_beacon(beacon_position, rssi_dbm, self._table)
+        self._filter.apply_beacon(
+            beacon_position, rssi_dbm, self._table, anchor_id=anchor_id
+        )
         self.beacons_heard += 1
         self._last_beacon_t = max(self._last_beacon_t, t)
         if self._anchor_expiry_s > 0.0 and anchor_id is not None:

@@ -118,9 +118,19 @@ class ParticleFilter:
         return float(1.0 / np.square(self._weights).sum())
 
     def apply_beacon(
-        self, beacon: Vec2, rssi_dbm: float, table: PdfTable
+        self,
+        beacon: Vec2,
+        rssi_dbm: float,
+        table: PdfTable,
+        anchor_id: Optional[int] = None,
     ) -> None:
-        """Weight particles by the beacon's ranging likelihood (Eq. 1-2)."""
+        """Weight particles by the beacon's ranging likelihood (Eq. 1-2).
+
+        ``anchor_id`` is accepted for interface parity with the grid
+        filter's constraint-cache keying and is unused here: particle
+        positions are per-robot, so there is no cross-robot field to
+        share.
+        """
         distances = np.hypot(self._xs - beacon.x, self._ys - beacon.y)
         likelihood = table.pdf(rssi_dbm, distances)
         self._weights *= likelihood

@@ -179,6 +179,52 @@ class PdfTable:
         self._bins = dict(bins)
         self._keys = np.array(sorted(self._bins), dtype=int)
         self._support_max_m = float(support_max_m)
+        # LUT kernel state (see repro.kernels): disabled by default so
+        # direct PdfTable users always get the exact densities; the team
+        # switches it on per its KernelConfig.  LUTs build lazily, one
+        # per *queried* bin, by sampling the bin's exact pdf() (uniform
+        # floor included) on a dense grid over twice the support — grid
+        # cells can sit up to the area diagonal away from a beacon, and
+        # anything beyond the domain clamps to the last node, which is
+        # floor-level density just like the exact evaluation.
+        self._lut_enabled = False
+        self._lut_entries = 16384
+        self._luts: Dict[int, np.ndarray] = {}
+
+    def set_lut(self, enabled: bool, entries: Optional[int] = None) -> None:
+        """Switch LUT-based density evaluation on or off.
+
+        Args:
+            enabled: route :meth:`pdf` / :meth:`pdf_for_key` through the
+                per-bin lookup tables (tolerance-identical) instead of
+                the exact per-call evaluation (bit-identical reference).
+            entries: LUT resolution; changing it drops any cached LUTs.
+
+        Raises:
+            ValueError: if ``entries`` is below 2.
+        """
+        if entries is not None:
+            if entries < 2:
+                raise ValueError(
+                    "LUT entries must be >= 2, got %r" % entries
+                )
+            if int(entries) != self._lut_entries:
+                self._lut_entries = int(entries)
+                self._luts.clear()
+        self._lut_enabled = bool(enabled)
+
+    @property
+    def lut_enabled(self) -> bool:
+        """True when densities come from the lookup tables."""
+        return self._lut_enabled
+
+    def __getstate__(self):
+        # Keep pickles (process-pool workers, the orchestrator's result
+        # cache) small and deterministic: LUTs are derived data and
+        # rebuild lazily on first use after unpickling.
+        state = self.__dict__.copy()
+        state["_luts"] = {}
+        return state
 
     @property
     def support_max_m(self) -> float:
@@ -196,12 +242,20 @@ class PdfTable:
 
     def bin_for(self, rssi_dbm: float) -> DistanceDistribution:
         """Return the distribution of the bin nearest to ``rssi_dbm``."""
+        return self._bins[self.bin_key_for(rssi_dbm)]
+
+    def bin_key_for(self, rssi_dbm: float) -> int:
+        """The populated integer-dBm bin an RSSI value snaps to.
+
+        Same snap rule as :meth:`bin_for`; the key doubles as the RSSI
+        component of constraint-field cache keys, so two RSSI readings
+        that resolve to the same bin share one cached field.
+        """
         key = int(round(rssi_dbm))
-        dist = self._bins.get(key)
-        if dist is not None:
-            return dist
+        if key in self._bins:
+            return key
         idx = int(np.argmin(np.abs(self._keys - key)))
-        return self._bins[int(self._keys[idx])]
+        return int(self._keys[idx])
 
     def pdf(
         self,
@@ -211,7 +265,45 @@ class PdfTable:
     ) -> np.ndarray:
         """Density over distance for a measured RSSI (Equation 1's
         ``PDF_RSSI``)."""
-        return self.bin_for(rssi_dbm).pdf(distances_m, out=out)
+        return self.pdf_for_key(
+            self.bin_key_for(rssi_dbm), distances_m, out=out
+        )
+
+    def pdf_for_key(
+        self,
+        key: int,
+        distances_m: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Density over distance for an already-resolved bin key.
+
+        With the LUT kernel off this is the exact evaluation; with it on,
+        each distance snaps to the nearest LUT node (one ``np.take``
+        instead of a grid-sized ``exp``).  Nearest-node quantization
+        bounds the relative density error by roughly
+        ``0.5 * step * |d - mean| / sigma^2`` for Gaussian bins, which at
+        the default resolution stays far inside the 0.1 % figure-metric
+        tolerance the regression suite pins.
+        """
+        if not self._lut_enabled:
+            return self._bins[key].pdf(distances_m, out=out)
+        lut = self._luts.get(key)
+        if lut is None:
+            nodes = np.linspace(
+                0.0, 2.0 * self._support_max_m, self._lut_entries
+            )
+            lut = np.asarray(self._bins[key].pdf(nodes), dtype=float)
+            lut.flags.writeable = False
+            self._luts[key] = lut
+        d = np.asarray(distances_m, dtype=float)
+        inv_step = (self._lut_entries - 1) / (2.0 * self._support_max_m)
+        # Clip before the integer cast (same reasoning as the histogram
+        # path: corrupted coordinates can be astronomically far away).
+        scaled = np.clip(
+            d * inv_step + 0.5, 0.0, float(self._lut_entries - 1)
+        )
+        idx = scaled.astype(np.intp)
+        return np.take(lut, idx, out=out)
 
     def expected_distance(self, rssi_dbm: float) -> float:
         """The bin's mean distance — a crude point-ranging estimate used

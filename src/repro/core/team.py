@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core.beaconing import BEACON_KIND, AnchorBeaconer
 from repro.core.calibration import build_pdf_table
+from repro.core.constraint_cache import ConstraintFieldCache
 from repro.core.clock import DriftingClock
 from repro.core.config import (
     CoCoAConfig,
@@ -36,6 +37,7 @@ from repro.core.pdf_table import PdfTable
 from repro.energy.report import TeamEnergyReport, aggregate_meters
 from repro.faults.injector import FaultInjector
 from repro.faults.spec import FaultPlan
+from repro.kernels import KernelConfig, resolve_kernels
 from repro.mobility.odometry import OdometrySensor
 from repro.mobility.waypoint import WaypointMobility
 from repro.multicast.lifetime import kinematics_of
@@ -147,6 +149,15 @@ class CoCoATeam:
             histograms.  Deliberately *not* part of the config: telemetry
             never changes simulation behaviour, so it must not change
             cache fingerprints either.
+        kernels: optional :class:`~repro.kernels.KernelConfig` selecting
+            the hot-path kernels (batched delivery, LUT densities,
+            constraint-field cache).  Defaults through
+            :func:`~repro.kernels.default_kernels` (process override,
+            then the ``REPRO_KERNELS`` environment variable, then
+            everything on).  Like telemetry, kernels are not part of the
+            config: the batched/cache kernels are bit-identical and the
+            LUT stays within figure tolerance, so they must not change
+            cache fingerprints.
     """
 
     def __init__(
@@ -155,13 +166,18 @@ class CoCoATeam:
         pdf_table: Optional[PdfTable] = None,
         faults: Optional[FaultPlan] = None,
         telemetry: Optional[Telemetry] = None,
+        kernels: Optional[KernelConfig] = None,
     ) -> None:
         self.config = config
         self.telemetry = telemetry
+        self.kernels = resolve_kernels(kernels)
         self.streams = RandomStreams(config.master_seed)
         self.sim = Simulator()
         self.channel = BroadcastChannel(
-            self.sim, config.path_loss, self.streams.get("phy")
+            self.sim,
+            config.path_loss,
+            self.streams.get("phy"),
+            batched=self.kernels.batched_delivery,
         )
         plan = faults if faults is not None else config.faults
         self.fault_plan = plan
@@ -182,6 +198,19 @@ class CoCoATeam:
             )
             pdf_table = calibration.table
         self.pdf_table = pdf_table
+        if self.pdf_table is not None:
+            # Per-run LUT selection.  Tables are shared across runs via
+            # SharedCalibration, so this must be (and is) idempotent:
+            # flipping the flag keeps any already-built LUT arrays
+            # around for the next kernels-on run.
+            self.pdf_table.set_lut(
+                self.kernels.lut_pdf, self.kernels.lut_entries
+            )
+        self.constraint_cache: Optional[ConstraintFieldCache] = None
+        if self.kernels.constraint_cache and self._needs_rf():
+            self.constraint_cache = ConstraintFieldCache(
+                self.kernels.cache_capacity
+            )
         self.nodes: List[RobotNode] = []
         self._sync_seq = 0
         self._build_team()
@@ -208,6 +237,7 @@ class CoCoATeam:
                 v_min=config.v_min,
                 v_max=config.v_max,
                 rest_time_max=config.rest_time_max_s,
+                memoize=self.kernels.pose_memo,
             )
             interface = NetworkInterface(
                 self.sim,
@@ -386,6 +416,7 @@ class CoCoATeam:
             beacon_gate_slack_m=defenses.beacon_gate_slack_m,
             watchdog=defenses.watchdog,
             anchor_expiry_s=defenses.anchor_expiry_s,
+            constraint_cache=self.constraint_cache,
         )
 
     def _build_coordinator(

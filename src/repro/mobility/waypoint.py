@@ -78,6 +78,13 @@ class WaypointMobility(MobilityModel):
             rest is drawn uniformly from ``[0, rest_time_max]``.  The paper's
             headline experiments use 0 (continuous movement).
         start: optional fixed start position; defaults to uniform random.
+        memoize: keep a one-entry pose memo (the ``pose_memo`` kernel of
+            :class:`~repro.kernels.KernelConfig`).  Several subsystems
+            query the same robot at the same instant within one event
+            (channel offer, delivery interference, odometry read, metric
+            sampling); the pose is a pure function of ``t`` once the legs
+            are drawn, and repeat queries never draw additional
+            randomness, so replaying the cached pose is bit-identical.
     """
 
     def __init__(
@@ -88,6 +95,7 @@ class WaypointMobility(MobilityModel):
         v_max: float = 2.0,
         rest_time_max: float = 0.0,
         start: Optional[Vec2] = None,
+        memoize: bool = False,
     ) -> None:
         if not 0 < v_min <= v_max:
             raise ValueError(
@@ -110,6 +118,8 @@ class WaypointMobility(MobilityModel):
         self._legs: List[Leg] = [self._new_leg(start, depart_time=0.0)]
         self._leg_index = 0
         self._last_query_time = 0.0
+        # One-entry pose memo; None when the kernel is off.
+        self._pose_memo: Optional[dict] = {} if memoize else None
 
     @property
     def area(self) -> Rect:
@@ -172,11 +182,22 @@ class WaypointMobility(MobilityModel):
         return leg
 
     def pose(self, t: float) -> Pose:
+        memo = self._pose_memo
+        if memo is not None:
+            cached = memo.get(t)
+            if cached is not None:
+                return cached
         leg = self.current_leg(t)
         if t >= leg.arrive_time:
             # Resting at the destination.
-            return Pose(leg.dest, leg.heading, 0.0)
-        return Pose(leg.position_at(t), leg.heading, leg.speed)
+            pose = Pose(leg.dest, leg.heading, 0.0)
+        else:
+            pose = Pose(leg.position_at(t), leg.heading, leg.speed)
+        if memo is not None:
+            if memo:
+                memo.clear()
+            memo[t] = pose
+        return pose
 
     def time_to_waypoint(self, t: float) -> float:
         """Seconds until the robot next reaches a waypoint (0 if resting)."""

@@ -19,7 +19,7 @@ same channel realization that decided reception.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -56,6 +56,15 @@ class _NodeEntry:
     radio: Radio
     receiver: ReceiverModel
     on_receive: ReceiveCallback
+    #: Carrier-sense distance guard band, precomputed at registration by
+    #: inverting the (monotone) mean path loss at the CS threshold.  At
+    #: distances at or below ``cs_dist_lo`` the medium is certainly busy;
+    #: at or beyond ``cs_dist_hi`` it certainly is not; only the narrow
+    #: band in between (1e-9 relative — six orders of magnitude wider
+    #: than the inversion's float error) falls back to the exact
+    #: ``mean_rssi``/``senses_busy`` computation.
+    cs_dist_lo: float = 0.0
+    cs_dist_hi: float = 0.0
 
 
 @dataclass
@@ -89,6 +98,10 @@ class BroadcastChannel:
         rng: random stream for RSSI noise.
         bitrate_bps: physical bitrate (paper: 2 Mbps).
         preamble_s: fixed per-frame preamble airtime.
+        batched: when True, :meth:`transmit` offers each frame through
+            the batched delivery kernel (bit-identical to the scalar
+            path; see :mod:`repro.kernels`).  :class:`~repro.core.team`
+            sets this from the run's :class:`~repro.kernels.KernelConfig`.
     """
 
     def __init__(
@@ -99,6 +112,7 @@ class BroadcastChannel:
         bitrate_bps: float = 2e6,
         preamble_s: float = PREAMBLE_S,
         trace: Optional[TraceLog] = None,
+        batched: bool = False,
     ) -> None:
         if bitrate_bps <= 0:
             raise ValueError(
@@ -113,6 +127,7 @@ class BroadcastChannel:
         self._transmissions: List[Transmission] = []
         self._trace = trace if trace is not None else TraceLog()
         self._faults = None
+        self.batched = batched
         self.stats = ChannelStats()
 
     def install_faults(self, injector) -> None:
@@ -149,8 +164,17 @@ class BroadcastChannel:
         """
         if node_id in self._nodes:
             raise ValueError("node %d already registered" % node_id)
+        cs_dist = self._path_loss.distance_for_mean_rssi(
+            receiver.carrier_sense_dbm
+        )
         self._nodes[node_id] = _NodeEntry(
-            node_id, mobility, radio, receiver, on_receive
+            node_id,
+            mobility,
+            radio,
+            receiver,
+            on_receive,
+            cs_dist_lo=cs_dist * (1.0 - 1e-9),
+            cs_dist_hi=cs_dist * (1.0 + 1e-9),
         )
 
     def airtime_s(self, size_bytes: int) -> float:
@@ -165,7 +189,10 @@ class BroadcastChannel:
         """Carrier sense: does ``node_id`` hear energy above its CS threshold?
 
         Uses mean (noise-free) RSSI — carrier sensing integrates energy over
-        time, which averages fast fading out.
+        time, which averages fast fading out.  Since mean path loss is
+        monotone in distance, the threshold comparison happens in distance
+        space against the guard band precomputed at registration; only
+        distances inside the band pay for the exact ``mean_rssi`` call.
         """
         now = self._sim.now
         self._prune(now)
@@ -175,9 +202,12 @@ class BroadcastChannel:
             if tx.src == node_id:
                 continue
             if tx.start <= now < tx.end:
-                rssi = self._path_loss.mean_rssi(
-                    max(position.distance_to(tx.src_position), 1.0)
-                )
+                distance = max(position.distance_to(tx.src_position), 1.0)
+                if distance <= entry.cs_dist_lo:
+                    return True
+                if distance >= entry.cs_dist_hi:
+                    continue
+                rssi = self._path_loss.mean_rssi(distance)
                 if entry.receiver.senses_busy(rssi):
                     return True
         return False
@@ -206,10 +236,13 @@ class BroadcastChannel:
             now, "channel.tx", src_id, kind=packet.kind, uid=packet.uid
         )
 
-        for receiver in self._nodes.values():
-            if receiver.node_id == src_id:
-                continue
-            self._offer(tx, receiver, airtime)
+        if self.batched:
+            self._offer_batch(tx, airtime)
+        else:
+            for receiver in self._nodes.values():
+                if receiver.node_id == src_id:
+                    continue
+                self._offer(tx, receiver, airtime)
         return airtime
 
     def _offer(
@@ -251,7 +284,116 @@ class BroadcastChannel:
             name="deliver",
         )
 
-    def _deliver(self, tx: Transmission, receiver_id: int, rssi: float) -> None:
+    def _offer_batch(self, tx: Transmission, airtime: float) -> None:
+        """Batched-delivery kernel: offer ``tx`` to every other node.
+
+        Bit-identical to running :meth:`_offer` per receiver in node
+        order.  The scalar path interleaves, per receiver, the radio
+        eligibility filters, one RSSI draw from the channel stream, and
+        the fault/decode decision — but the filters never depend on the
+        draw, the draws never depend on the filters' side effects (the
+        counters), and fault draws come from their own streams.  So the
+        kernel may run all filters first, sample every surviving
+        receiver's RSSI in one batched draw
+        (:meth:`~repro.net.phy.PathLossModel.sample_rssi_batch` replays
+        the scalar draw order exactly), and then walk the survivors for
+        the fault/decode/schedule step, still in node order.
+
+        Deliveries are likewise merged into a single frame-completion
+        event (:meth:`_deliver_frame`) instead of one event per
+        receiver.  The per-receiver delivery bodies still run in node
+        order at the same timestamp; the only reordering is that every
+        radio's rx-end timer now fires before the first delivery rather
+        than interleaved with them.  That is unobservable: energy billing
+        depends on state-change *times* (identical — everything happens
+        at the frame end instant), and no delivery decision reads another
+        receiver's radio state.  Handlers that transmit in response to a
+        delivery cannot perturb the remaining deliveries in either
+        ordering, because a transmission starting at the frame-end
+        instant never overlaps the just-ended frame's half-open airtime
+        interval.  Only the engine's event *count* differs, which is why
+        the byte-equality gate covers the science payload rather than
+        the scheduler's own counters.
+        """
+        now = self._sim.now
+        eligible: List[_NodeEntry] = []
+        distances: List[float] = []
+        for receiver in self._nodes.values():
+            if receiver.node_id == tx.src:
+                continue
+            self.stats.frames_offered += 1
+            if not receiver.radio.is_awake:
+                self.stats.frames_missed_asleep += 1
+                continue
+            if receiver.radio.reception_impaired:
+                self.stats.frames_missed_brownout += 1
+                continue
+            if receiver.radio.is_transmitting:
+                self.stats.frames_missed_half_duplex += 1
+                continue
+            position = receiver.mobility.position(now)
+            eligible.append(receiver)
+            # Vec2.distance_to (math.hypot) — NOT a vectorized hypot:
+            # np.hypot and sqrt(dx*dx + dy*dy) are not bit-identical to it.
+            distances.append(
+                max(position.distance_to(tx.src_position), 1.0)
+            )
+        if not eligible:
+            return
+        rssi_batch = self._path_loss.sample_rssi_batch(
+            np.asarray(distances), self._rng
+        )
+        pending: List[Tuple[int, float]] = []
+        for receiver, sampled in zip(eligible, rssi_batch):
+            rssi = float(sampled)
+            effective_rssi = rssi
+            if self._faults is not None:
+                offered = self._faults.offer_rssi(
+                    now, tx.src, receiver.node_id, rssi
+                )
+                if offered is None:
+                    self.stats.frames_jammed += 1
+                    continue
+                effective_rssi = offered
+            if not receiver.receiver.can_decode(effective_rssi):
+                self.stats.frames_below_sensitivity += 1
+                continue
+            receiver.radio.begin_receive(airtime)
+            pending.append((receiver.node_id, rssi))
+        if pending:
+            self._sim.schedule(
+                airtime, self._deliver_frame, tx, pending, name="deliver"
+            )
+
+    def _deliver_frame(
+        self, tx: Transmission, pending: List[Tuple[int, float]]
+    ) -> None:
+        """Run every receiver's delivery for one frame, in node order.
+
+        The foreign transmissions overlapping the frame's airtime are the
+        same for every receiver, so they are collected once here instead
+        of rescanned per delivery.  Transmissions appended mid-loop by
+        delivery handlers start exactly at the frame end and so never
+        satisfy the strict overlap test — matching the scalar path, where
+        the per-receiver scan cannot see them either.
+        """
+        overlapping = [
+            other
+            for other in self._transmissions
+            if other is not tx
+            and other.start < tx.end
+            and other.end > tx.start
+        ]
+        for receiver_id, rssi in pending:
+            self._deliver(tx, receiver_id, rssi, overlapping)
+
+    def _deliver(
+        self,
+        tx: Transmission,
+        receiver_id: int,
+        rssi: float,
+        overlapping: Optional[List[Transmission]] = None,
+    ) -> None:
         receiver = self._nodes[receiver_id]
         now = self._sim.now
         if not receiver.radio.is_awake:
@@ -262,10 +404,16 @@ class BroadcastChannel:
             # Browned out mid-frame.
             self.stats.frames_missed_brownout += 1
             return
-        if self._transmitted_during(receiver_id, tx.start, tx.end):
-            self.stats.frames_missed_half_duplex += 1
-            return
-        interference_mw = self._interference_mw(tx, receiver)
+        if overlapping is None:
+            if self._transmitted_during(receiver_id, tx.start, tx.end):
+                self.stats.frames_missed_half_duplex += 1
+                return
+            interference_mw = self._interference_mw(tx, receiver)
+        else:
+            if any(other.src == receiver_id for other in overlapping):
+                self.stats.frames_missed_half_duplex += 1
+                return
+            interference_mw = self._foreign_power_mw(overlapping, receiver)
         if interference_mw > 0.0:
             sinr_db = rssi - mw_to_dbm(interference_mw)
             if sinr_db < receiver.receiver.capture_threshold_db:
@@ -309,17 +457,39 @@ class BroadcastChannel:
             )
         )
 
+    def _foreign_power_mw(
+        self, overlapping: List[Transmission], receiver: _NodeEntry
+    ) -> float:
+        """Summed mean power of the precomputed overlap set at the
+        receiver — the batched-path counterpart of
+        :meth:`_interference_mw`, with identical float-summation order."""
+        position = None
+        total = 0.0
+        for other in overlapping:
+            if other.src == receiver.node_id:
+                continue
+            if position is None:
+                position = receiver.mobility.position(self._sim.now)
+            distance = max(position.distance_to(other.src_position), 1.0)
+            total += dbm_to_mw(self._path_loss.mean_rssi(distance))
+        return total
+
     def _interference_mw(
         self, tx: Transmission, receiver: _NodeEntry
     ) -> float:
         """Summed mean power of foreign frames overlapping ``tx`` at the
         receiver, in milliwatts."""
-        position = receiver.mobility.position(self._sim.now)
+        # Most deliveries have no overlapping foreign frame, so the
+        # receiver position (a mobility query) is fetched lazily on the
+        # first actual overlap.
+        position = None
         total = 0.0
         for other in self._transmissions:
             if other is tx or other.src == receiver.node_id:
                 continue
             if other.start < tx.end and other.end > tx.start:
+                if position is None:
+                    position = receiver.mobility.position(self._sim.now)
                 distance = max(position.distance_to(other.src_position), 1.0)
                 total += dbm_to_mw(self._path_loss.mean_rssi(distance))
         return total

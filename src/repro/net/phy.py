@@ -84,6 +84,18 @@ class PathLossModel:
 
     def mean_rssi(self, distance_m: ArrayLike) -> ArrayLike:
         """Mean RSSI (dBm) at ``distance_m``; distances below 1 m clamp to 1 m."""
+        if isinstance(distance_m, (float, int)):
+            # Scalar fast path: carrier sensing and interference summation
+            # call this once per active transmission.  ``np.log10`` on a
+            # Python float is bit-identical to the array ufunc (pinned by
+            # a test), so this skips only the array round-trip.
+            d = float(distance_m)
+            if d < 1.0:
+                d = 1.0
+            return float(
+                self.rssi_at_1m_dbm
+                - 10.0 * self.path_loss_exponent * np.log10(d)
+            )
         d = np.maximum(np.asarray(distance_m, dtype=float), 1.0)
         result = self.rssi_at_1m_dbm - 10.0 * self.path_loss_exponent * (
             np.log10(d)
@@ -112,6 +124,26 @@ class PathLossModel:
         Returns:
             Sampled RSSI in dBm with the same shape as the input.
         """
+        if isinstance(distance_m, (float, int)):
+            # Scalar fast path: the channel offers every frame to every
+            # receiver one at a time, so this runs once per offered frame.
+            # Draws and arithmetic replicate the array path bit for bit:
+            # scalar Generator draws consume the stream exactly like
+            # size-(1,) draws, and scalar np.log10/np ops match the array
+            # ufuncs (both pinned by tests).
+            d = float(distance_m)
+            mean = self.mean_rssi(d)
+            far = d > self.far_threshold_m
+            sigma = self.far_sigma_db if far else self.gaussian_sigma_db
+            rssi = mean + rng.normal(0.0, 1.0) * sigma
+            if far and self.far_fade_prob > 0.0:
+                if rng.random() < self.far_fade_prob:
+                    rssi = rssi - abs(
+                        rng.normal(
+                            self.far_fade_mean_db, self.far_fade_sigma_db
+                        )
+                    )
+            return float(rssi)
         d = np.atleast_1d(np.asarray(distance_m, dtype=float))
         rssi = np.asarray(self.mean_rssi(d), dtype=float)
         far = d > self.far_threshold_m
@@ -129,6 +161,76 @@ class PathLossModel:
         if np.isscalar(distance_m):
             return float(rssi[0])
         return rssi.reshape(np.shape(distance_m))
+
+    def sample_rssi_batch(
+        self, distances_m: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw noisy RSSI for many receivers of **one** frame at once.
+
+        Bit-identical to calling :meth:`sample_rssi` once per scalar
+        distance, in order — including the consumed RNG stream.  A scalar
+        call draws its shadowing normal, then (far regime only) a fade
+        uniform, then (on a fade hit) the fade normal, so the draws of
+        consecutive receivers interleave.  The batch replays exactly that
+        order: one ``normal(size=n)`` covers each run of receivers up to
+        and including the next far receiver (a size-``n`` array draw
+        consumes the Generator stream exactly like ``n`` sequential
+        scalar draws — pinned by a property test), then that receiver's
+        fade draws happen scalar-wise.  When no receiver is in the far
+        regime this collapses to a single ``normal(size=k)`` draw.
+
+        Args:
+            distances_m: 1-D array of transmitter-receiver distances.
+            rng: the channel's RSSI-noise stream.
+
+        Returns:
+            Sampled RSSI in dBm, one per input distance.
+        """
+        d = np.asarray(distances_m, dtype=float)
+        k = d.size
+        if k == 0:
+            return np.empty(0)
+        mean = self.rssi_at_1m_dbm - 10.0 * self.path_loss_exponent * (
+            np.log10(np.maximum(d, 1.0))
+        )
+        far = d > self.far_threshold_m
+        sigma = np.where(far, self.far_sigma_db, self.gaussian_sigma_db)
+        fade_db = None
+        if self.far_fade_prob <= 0.0 or not far.any():
+            noise = rng.normal(0.0, 1.0, size=k)
+        else:
+            noise = np.empty(k)
+            fade_db = np.zeros(k)
+            normal = rng.normal
+            random = rng.random
+            fade_prob = self.far_fade_prob
+            start = 0
+            # Single-element runs use scalar draws — a scalar normal()
+            # consumes the Generator stream exactly like a size-1 array
+            # draw (pinned by a property test) and skips the array
+            # construction, which dominates when most receivers are far.
+            for j in np.flatnonzero(far).tolist():
+                if j == start:
+                    noise[j] = normal(0.0, 1.0)
+                else:
+                    noise[start:j + 1] = normal(
+                        0.0, 1.0, size=j + 1 - start
+                    )
+                start = j + 1
+                if random() < fade_prob:
+                    fade_db[j] = abs(
+                        normal(
+                            self.far_fade_mean_db, self.far_fade_sigma_db
+                        )
+                    )
+            if start == k - 1:
+                noise[start] = normal(0.0, 1.0)
+            elif start < k:
+                noise[start:] = normal(0.0, 1.0, size=k - start)
+        rssi = mean + noise * sigma
+        if fade_db is not None:
+            rssi = rssi - fade_db
+        return rssi
 
 
 @dataclass(frozen=True)

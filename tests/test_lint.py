@@ -227,6 +227,30 @@ class TestRep003UnsortedSetIteration:
             SIM_PATH,
         ) == []
 
+    def test_ordered_dict_cache_views_are_clean(self):
+        # The kernel layer iterates dict views on its hot paths: the
+        # channel walks its registry's .values() per frame and the
+        # constraint cache's LRU stores are OrderedDicts.  View
+        # iteration follows insertion order — deterministic and legal.
+        assert codes(
+            """\
+            from collections import OrderedDict
+
+            def offer_all(nodes, frame):
+                for entry in nodes.values():
+                    entry.offer(frame)
+
+            def evict_oldest(store: OrderedDict):
+                for key in store.keys():
+                    return key
+                return None
+
+            def snapshot(store: OrderedDict):
+                return [field for _, field in store.items()]
+            """,
+            NET_PATH,
+        ) == []
+
 
 class TestRep004FloatEquality:
     def test_float_literal_comparison_fires(self):
