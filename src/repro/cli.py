@@ -11,6 +11,7 @@ Usage (installed package):
     python -m repro calibrate
     python -m repro lint src tests --json
     python -m repro bench --quick
+    python -m repro serve --port 7707 --shards 4
 
 ``bench`` times the pinned Fig.-7 scenario with the hot-path kernels on
 and off plus each kernel's inner loop in isolation, and writes
@@ -202,6 +203,30 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--min-speedup", type=float, default=None,
                        help="exit 1 if the end-to-end kernel speedup "
                             "falls below this ratio")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the streaming localization service (NDJSON over TCP, "
+             "plus GET /metrics on the same port)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=7707,
+                       help="bind port (0 picks an ephemeral port)")
+    serve.add_argument("--shards", type=_positive_int, default=4,
+                       help="worker event loops (tenants hash across them)")
+    serve.add_argument("--queue-limit", type=_positive_int, default=256,
+                       help="bounded request queue depth per shard")
+    serve.add_argument("--tenant-inflight", type=_positive_int, default=32,
+                       help="max queued requests per tenant before shedding")
+    serve.add_argument("--session-ttl", type=float, default=300.0,
+                       help="seconds of idleness before a tenant session "
+                            "is evicted (0 disables)")
+    serve.add_argument("--warm-cache", metavar="DIR", default=None,
+                       help="use this result-cache directory as the "
+                            "calibration warm-start store")
+    serve.add_argument("--smoke", action="store_true",
+                       help="start, run a 2-tenant round trip plus a "
+                            "/metrics scrape against itself, then exit")
 
     calibrate = sub.add_parser(
         "calibrate", help="run the offline calibration and print the table"
@@ -617,6 +642,98 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace, out) -> int:
+    import asyncio
+
+    from repro.serve import LocalizationServer, ServeConfig, ServiceCore
+
+    warm_store = None
+    if args.warm_cache is not None:
+        warm_store = ResultCache(root=args.warm_cache)
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            n_shards=args.shards,
+            queue_limit=args.queue_limit,
+            tenant_inflight_limit=args.tenant_inflight,
+            session_ttl_s=args.session_ttl,
+        )
+    except ValueError as exc:
+        print("serve: %s" % exc, file=out)
+        return 2
+
+    async def _run() -> int:
+        server = LocalizationServer(ServiceCore(config, warm_store=warm_store))
+        await server.start()
+        print("serving on %s:%d (%d shards%s); GET /metrics on the "
+              "same port"
+              % (config.host, server.port, config.n_shards,
+                 ", warm cache %s" % args.warm_cache
+                 if args.warm_cache else ""), file=out)
+        if args.smoke:
+            code = await _serve_smoke(server, out)
+            await server.stop()
+            return code
+        try:
+            await server.serve_forever()
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            await server.stop()
+        return 0
+
+    try:
+        return asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("interrupted", file=out)
+        return 0
+
+
+async def _serve_smoke(server, out) -> int:
+    """Two-tenant round trip plus a metrics scrape against ourselves."""
+    import asyncio
+
+    from repro.serve import ServeClient
+
+    port = server.port
+    for tenant in ("smoke-a", "smoke-b"):
+        async with ServeClient(server.core.config.host, port) as client:
+            hello = await client.hello(
+                tenant, calibration_samples=2000, area_side_m=80.0
+            )
+            if not hello.ok:
+                print("smoke FAIL: hello %s" % hello.error, file=out)
+                return 1
+            await client.window_open(tenant, robot=0)
+            beacons = [(10.0, 10.0, -60.0), (70.0, 10.0, -72.0),
+                       (40.0, 70.0, -68.0), (20.0, 40.0, -64.0)]
+            for seq, (x, y, rssi) in enumerate(beacons):
+                await client.observe(tenant, 0, seq=seq, x=x, y=y,
+                                     rssi_dbm=rssi)
+            close = await client.window_close(tenant, robot=0)
+            if not (close.ok and close.payload.get("fixed")):
+                print("smoke FAIL: no fix for %s (%r)" % (tenant, close),
+                      file=out)
+                return 1
+            print("smoke: %s fix at (%.2f, %.2f)"
+                  % (tenant, close.payload["x"], close.payload["y"]),
+                  file=out)
+    reader, writer = await asyncio.open_connection(
+        server.core.config.host, port
+    )
+    writer.write(b"GET /metrics HTTP/1.1\r\nHost: smoke\r\n\r\n")
+    await writer.drain()
+    scrape = await reader.read(-1)
+    writer.close()
+    await writer.wait_closed()
+    if b"200 OK" not in scrape or b"serve_fixes_total" not in scrape:
+        print("smoke FAIL: bad /metrics scrape", file=out)
+        return 1
+    print("smoke: /metrics scrape ok (%d bytes)" % len(scrape), file=out)
+    return 0
+
+
 def cmd_calibrate(args: argparse.Namespace, out) -> int:
     from repro.core.calibration import build_pdf_table
     from repro.net.phy import PathLossModel
@@ -662,6 +779,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return cmd_lint(args, out)
     if args.command == "bench":
         return cmd_bench(args, out)
+    if args.command == "serve":
+        return cmd_serve(args, out)
     if args.command == "calibrate":
         return cmd_calibrate(args, out)
     parser.error("unknown command %r" % args.command)

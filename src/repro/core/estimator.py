@@ -27,7 +27,8 @@ displacement comparable to the fix noise.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
 
 from repro.core.bayes import GridBayesFilter
 from repro.core.config import LocalizationMode
@@ -35,6 +36,38 @@ from repro.core.pdf_table import PdfTable
 from repro.mobility.dead_reckoning import DeadReckoning
 from repro.mobility.odometry import OdometrySensor
 from repro.util.geometry import Rect, Vec2, normalize_angle
+
+
+@dataclass(frozen=True)
+class BeaconObservation:
+    """One beacon measurement, as the estimator ingests it.
+
+    This is the unit of the estimator's *ingestion surface*: both the
+    batch coordinator (via :meth:`RobotNode.handle_beacon
+    <repro.core.node.RobotNode.handle_beacon>`) and the streaming
+    service (:mod:`repro.serve`) feed estimators through
+    :meth:`PositionEstimator.ingest_observation` with these records, so
+    a recorded observation stream replays bit-identically through
+    either path.
+
+    Attributes:
+        x: the claiming anchor's advertised x coordinate (metres).
+        y: the claiming anchor's advertised y coordinate (metres).
+        rssi_dbm: the measured signal strength.
+        anchor_id: the claiming anchor's node id (``None`` when the
+            source is anonymous).
+        t: receive time in simulated seconds.
+    """
+
+    x: float
+    y: float
+    rssi_dbm: float
+    anchor_id: Optional[int] = None
+    t: float = 0.0
+
+    @property
+    def position(self) -> Vec2:
+        return Vec2(self.x, self.y)
 
 
 class PositionEstimator:
@@ -193,6 +226,12 @@ class PositionEstimator:
         #: Posterior spread of the most recent fix — the "goodness of the
         #: location" measure the beacon-promotion extension gates on.
         self.last_fix_std_m: Optional[float] = None
+        #: Optional observer of the ingestion surface (see
+        #: :meth:`set_ingest_tap`).  Pure observation: never consulted
+        #: when unset, never allowed to change estimator behaviour.
+        self._ingest_tap: Optional[
+            Callable[[str, Optional[BeaconObservation]], None]
+        ] = None
 
     @property
     def mode(self) -> LocalizationMode:
@@ -225,8 +264,59 @@ class PositionEstimator:
         if self._mode is not LocalizationMode.RF_ONLY:
             self._estimate = position
 
+    # -- ingestion surface ----------------------------------------------------
+    #
+    # The explicit API every observation source drives: the batch
+    # coordinator (RobotNode.handle_beacon, CoCoATeam's metric sampler)
+    # and the streaming service (repro.serve) call exactly these three
+    # methods, so the estimator cannot tell a live simulation from a
+    # replayed observation log.  First step toward a swappable
+    # Estimator protocol (ROADMAP item 5).
+
+    def ingest_observation(self, observation: BeaconObservation) -> None:
+        """Incorporate one beacon observation (the streaming entry point).
+
+        Equivalent to :meth:`on_beacon` with the observation's fields;
+        the tap (if any) sees the observation before it is applied.
+        """
+        if self._ingest_tap is not None:
+            self._ingest_tap("beacon", observation)
+        self.on_beacon(
+            observation.position,
+            observation.rssi_dbm,
+            anchor_id=observation.anchor_id,
+            t=observation.t,
+        )
+
+    def advance_to(self, sim_time: float) -> None:
+        """Advance internal motion state to ``sim_time``.
+
+        For odometry-carrying modes this integrates one odometer step
+        (identical to :meth:`tick`); RF_ONLY estimators have no motion
+        state and the call is a no-op — which is what lets the service
+        replay an RF observation stream without a mobility model.
+        """
+        self.tick(sim_time)
+
+    def set_ingest_tap(
+        self,
+        tap: Optional[Callable[[str, Optional[BeaconObservation]], None]],
+    ) -> None:
+        """Install (or with ``None`` remove) an ingestion observer.
+
+        The tap is called with ``("open", None)`` as a beacon round
+        begins (before the filter resets), ``("beacon", observation)``
+        for every observation entering :meth:`ingest_observation`
+        (before it is applied, gated or not), and ``("close", None)``
+        after a round closes (fix state is final when it fires).  Taps
+        observe; they must not call back into the estimator.
+        """
+        self._ingest_tap = tap
+
     def on_window_open(self) -> None:
         """A new beacon round begins: restart the filter from uniform."""
+        if self._ingest_tap is not None:
+            self._ingest_tap("open", None)
         if self._filter is None:
             return
         self._filter.reset_uniform()
@@ -365,6 +455,11 @@ class PositionEstimator:
         With fewer than the minimum beacons the robot "continues with its
         old estimated position from the previous beacon period" (§2.3).
         """
+        self._close_window()
+        if self._ingest_tap is not None:
+            self._ingest_tap("close", None)
+
+    def _close_window(self) -> None:
         self._window_open = False
         if self._filter is None:
             return

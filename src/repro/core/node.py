@@ -15,7 +15,7 @@ from typing import Optional
 
 from repro.core.beaconing import AnchorBeaconer, BeaconPayload
 from repro.core.coordinator import Coordinator
-from repro.core.estimator import PositionEstimator
+from repro.core.estimator import BeaconObservation, PositionEstimator
 from repro.mobility.base import MobilityModel
 from repro.multicast.odmrp import OdmrpNode
 from repro.net.interface import NetworkInterface
@@ -91,9 +91,12 @@ class RobotNode:
         if self.estimator is None:
             return
         payload: BeaconPayload = received.packet.payload
-        self.estimator.on_beacon(
-            payload.position,
-            received.rssi_dbm,
-            anchor_id=payload.anchor_id,
-            t=received.receive_time,
+        self.estimator.ingest_observation(
+            BeaconObservation(
+                x=payload.x,
+                y=payload.y,
+                rssi_dbm=received.rssi_dbm,
+                anchor_id=payload.anchor_id,
+                t=received.receive_time,
+            )
         )

@@ -529,7 +529,7 @@ class CoCoATeam:
         t = self.sim.now
         row = []
         for node in self._measured_nodes():
-            node.estimator.tick(t)
+            node.estimator.advance_to(t)
             row.append(node.localization_error(t))
         self._sample_times.append(t)
         self._sample_errors.append(row)

@@ -112,6 +112,17 @@ class ResultCache:
 
     def get(self, fingerprint: str) -> Optional[TeamResult]:
         """Return the stored result, or ``None`` on miss or any error."""
+        return self.get_payload(fingerprint, TeamResult)
+
+    def get_payload(self, fingerprint: str, expected_type: type):
+        """Generic typed lookup: the stored object, or ``None``.
+
+        The type check is part of the contract — a fingerprint scheme
+        that stores :class:`~repro.core.pdf_table.PdfTable` payloads
+        (the serve warm-start store) shares the cache with
+        :class:`~repro.core.team.TeamResult` entries, and a prefix
+        collision must read as a miss, never as a wrongly-typed hit.
+        """
         path = self.path_for(fingerprint)
         if not os.path.exists(path):
             self.stats.misses += 1
@@ -124,7 +135,7 @@ class ResultCache:
             self.stats.errors += 1
             self.stats.misses += 1
             return None
-        if not isinstance(result, TeamResult):
+        if not isinstance(result, expected_type):
             self.stats.errors += 1
             self.stats.misses += 1
             return None
@@ -139,12 +150,22 @@ class ResultCache:
         wall_s: float = 0.0,
     ) -> bool:
         """Store ``result``; returns False (and keeps going) on failure."""
+        return self.put_payload(fingerprint, result, job_name, wall_s)
+
+    def put_payload(
+        self,
+        fingerprint: str,
+        payload,
+        job_name: str = "",
+        wall_s: float = 0.0,
+    ) -> bool:
+        """Store any picklable payload under ``fingerprint``."""
         path = self.path_for(fingerprint)
         tmp = path + ".tmp.%d" % os.getpid()
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
             with open(tmp, "wb") as handle:
-                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)  # atomic: readers never see partial files
         except Exception:
             self.stats.errors += 1

@@ -1,0 +1,60 @@
+"""repro.serve — streaming localization-as-a-service.
+
+An asyncio server that accepts beacon-observation streams for many
+independent tenants and serves position fixes from the same grid-Bayes
+estimator the batch simulation uses — byte-identically (see
+``tests/test_serve_replay.py`` and the DESIGN.md service section).
+
+Layers, wire to core: :mod:`~repro.serve.protocol` (NDJSON framing),
+:mod:`~repro.serve.server` (TCP front end + ``/metrics``),
+:mod:`~repro.serve.shard` (bounded worker queues, backpressure,
+eviction), :mod:`~repro.serve.session` (per-tenant estimator state
+machines), :mod:`~repro.serve.client` (reference clients) and
+:mod:`~repro.serve.replay` (record/replay correctness gate).
+"""
+
+from repro.serve.client import InProcessClient, ServeClient
+from repro.serve.protocol import (
+    ProtocolError,
+    Request,
+    Response,
+    parse_request,
+    parse_response,
+)
+from repro.serve.replay import (
+    ReplayLog,
+    diff_fixes,
+    record_replay_log,
+    replay_log,
+)
+from repro.serve.server import LocalizationServer, ServeConfig, ServiceCore
+from repro.serve.session import (
+    CalibrationStore,
+    SessionLimits,
+    TenantSession,
+    calibration_fingerprint,
+)
+from repro.serve.shard import Shard, shard_index_for
+
+__all__ = [
+    "InProcessClient",
+    "ServeClient",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "parse_request",
+    "parse_response",
+    "ReplayLog",
+    "diff_fixes",
+    "record_replay_log",
+    "replay_log",
+    "LocalizationServer",
+    "ServeConfig",
+    "ServiceCore",
+    "CalibrationStore",
+    "SessionLimits",
+    "TenantSession",
+    "calibration_fingerprint",
+    "Shard",
+    "shard_index_for",
+]

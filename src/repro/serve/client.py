@@ -1,0 +1,211 @@
+"""Reference clients for the localization service.
+
+Two transports, one vocabulary:
+
+- :class:`ServeClient` speaks the NDJSON wire protocol over TCP and is
+  what an external robot bridge would embed.  It supports pipelining:
+  ``send_*`` methods enqueue a request and return an awaitable, and the
+  server guarantees responses arrive in request order per connection.
+- :class:`InProcessClient` drives a :class:`~repro.serve.server.ServiceCore`
+  directly — no sockets — which is what the replay gate, the unit tests
+  and the quick benchmark mode use.  Both clients expose the identical
+  convenience surface, so a test written against one runs against the
+  other.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.serve.protocol import (
+    ByeRequest,
+    ConfidenceRequest,
+    FixRequest,
+    HelloRequest,
+    ObserveRequest,
+    PingRequest,
+    ProtocolError,
+    Request,
+    Response,
+    StatsRequest,
+    WindowRequest,
+    encode_request,
+    parse_response,
+)
+
+__all__ = ["ServeClient", "InProcessClient"]
+
+
+class _RequestSurface:
+    """The shared convenience vocabulary; subclasses implement ``request``."""
+
+    async def request(self, request: Request) -> Response:
+        raise NotImplementedError
+
+    async def hello(self, tenant: str, **kwargs) -> Response:
+        return await self.request(HelloRequest(tenant=tenant, **kwargs))
+
+    async def window_open(self, tenant: str, robot: int,
+                          t: float = 0.0) -> Response:
+        return await self.request(
+            WindowRequest(tenant=tenant, robot=robot, event="open", t=t)
+        )
+
+    async def window_close(self, tenant: str, robot: int,
+                           t: float = 0.0) -> Response:
+        return await self.request(
+            WindowRequest(tenant=tenant, robot=robot, event="close", t=t)
+        )
+
+    async def observe(
+        self,
+        tenant: str,
+        robot: int,
+        seq: int,
+        x: float,
+        y: float,
+        rssi_dbm: float,
+        anchor_id: Optional[int] = None,
+        t: float = 0.0,
+    ) -> Response:
+        return await self.request(ObserveRequest(
+            tenant=tenant, robot=robot, seq=seq, x=x, y=y,
+            rssi_dbm=rssi_dbm, anchor_id=anchor_id, t=t,
+        ))
+
+    async def fix(self, tenant: str, robot: int) -> Response:
+        return await self.request(FixRequest(tenant=tenant, robot=robot))
+
+    async def confidence(self, tenant: str, robot: int) -> Response:
+        return await self.request(
+            ConfidenceRequest(tenant=tenant, robot=robot)
+        )
+
+    async def stats(self, tenant: str) -> Response:
+        return await self.request(StatsRequest(tenant=tenant))
+
+    async def bye(self, tenant: str) -> Response:
+        return await self.request(ByeRequest(tenant=tenant))
+
+    async def ping(self, tenant: str = "") -> Response:
+        return await self.request(PingRequest(tenant=tenant))
+
+
+class ServeClient(_RequestSurface):
+    """NDJSON-over-TCP client.
+
+    Use as an async context manager, or call :meth:`connect` /
+    :meth:`close` explicitly.  ``request`` is send-then-await; for
+    pipelined throughput use :meth:`send` to enqueue many requests and
+    await the returned futures afterwards.
+
+    Args:
+        host: server address.
+        port: server port.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._inflight: "asyncio.Queue" = asyncio.Queue()
+        self._pump: Optional[asyncio.Task] = None
+
+    async def connect(self) -> "ServeClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._pump = asyncio.get_running_loop().create_task(
+            self._pump_responses()
+        )
+        return self
+
+    async def close(self) -> None:
+        pump, self._pump = self._pump, None
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+            self._writer = None
+            self._reader = None
+        if pump is not None:
+            pump.cancel()
+            try:
+                await pump
+            except asyncio.CancelledError:
+                pass
+
+    async def __aenter__(self) -> "ServeClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def send(self, request: Request) -> "asyncio.Future":
+        """Enqueue one request; the future resolves with its response.
+
+        Responses map to requests by order (the protocol guarantees
+        per-connection ordering), which is what makes pipelining safe.
+        """
+        if self._writer is None:
+            raise ConnectionError("client is not connected")
+        future = asyncio.get_running_loop().create_future()
+        await self._inflight.put(future)
+        self._writer.write(encode_request(request).encode("utf-8") + b"\n")
+        await self._writer.drain()
+        return future
+
+    async def request(self, request: Request) -> Response:
+        return await (await self.send(request))
+
+    async def _pump_responses(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    response = parse_response(line)
+                except ProtocolError as exc:
+                    self._fail_inflight(exc)
+                    return
+                future = await self._inflight.get()
+                if not future.done():
+                    future.set_result(response)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._fail_inflight(ConnectionError("connection closed"))
+
+    def _fail_inflight(self, exc: BaseException) -> None:
+        while not self._inflight.empty():
+            future = self._inflight.get_nowait()
+            if not future.done():
+                future.set_exception(exc)
+
+
+class InProcessClient(_RequestSurface):
+    """Drives a :class:`~repro.serve.server.ServiceCore` without sockets.
+
+    The request still travels through the real shard queue and worker,
+    so backpressure, shedding and eviction behave exactly as they do
+    over TCP — only the wire encoding is skipped.
+
+    Args:
+        core: a started (or startable) service core.
+    """
+
+    def __init__(self, core) -> None:
+        self.core = core
+
+    async def send(self, request: Request) -> "asyncio.Future":
+        self.core.start()
+        return self.core.submit(request)
+
+    async def request(self, request: Request) -> Response:
+        return await (await self.send(request))

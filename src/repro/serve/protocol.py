@@ -1,0 +1,291 @@
+"""Wire protocol of the streaming localization service.
+
+The service speaks **newline-delimited JSON** over TCP: each request is
+one JSON object on one line, each response is one JSON object on one
+line, and responses come back in request order per connection (clients
+may pipeline).  The same request/response dataclasses also travel
+directly through the in-process client used by tests and benchmarks —
+the wire format is a serialization of this module's types, never a
+separate dialect.
+
+Request vocabulary (the ``op`` field):
+
+- ``hello`` — create (or attach to) a tenant session, declaring the
+  estimator geometry and calibration identity.
+- ``window`` — a robot's beacon round opened or closed (``event``).
+- ``observe`` — one beacon observation for a robot, carrying the
+  per-robot ``seq`` assigned at the *source*; the session re-sorts by it
+  at window close, which is what makes out-of-order delivery within a
+  window harmless (see DESIGN.md).
+- ``fix`` / ``confidence`` — query the live posterior.
+- ``stats`` — per-tenant session counters.
+- ``bye`` — drop the tenant session explicitly.
+- ``ping`` — liveness/no-op.
+
+A connection whose first bytes are ``GET `` is treated as a plain HTTP
+scrape instead (``/metrics`` serves the Prometheus exposition of the
+server's telemetry registry); see :mod:`repro.serve.server`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional, Union
+
+__all__ = [
+    "ProtocolError",
+    "HelloRequest",
+    "WindowRequest",
+    "ObserveRequest",
+    "FixRequest",
+    "ConfidenceRequest",
+    "StatsRequest",
+    "ByeRequest",
+    "PingRequest",
+    "Request",
+    "Response",
+    "parse_request",
+    "encode_request",
+    "parse_response",
+    "encode_response",
+    "error_response",
+]
+
+#: Maximum accepted request line length (bytes).  A line longer than
+#: this is a protocol error, not a memory commitment.
+MAX_LINE_BYTES = 64 * 1024
+
+
+class ProtocolError(ValueError):
+    """A request line that cannot be understood."""
+
+
+@dataclass(frozen=True)
+class HelloRequest:
+    """Open (or re-attach to) a tenant session.
+
+    The calibration identity (seed, sample count, LUT flag) plus the
+    grid geometry fully determine the estimator pipeline, so a replayed
+    observation log carrying the recording run's values reproduces its
+    fixes bit for bit.
+    """
+
+    tenant: str
+    calibration_seed: int = 1
+    calibration_samples: int = 120_000
+    area_side_m: float = 200.0
+    grid_resolution_m: float = 2.0
+    min_beacons_for_fix: int = 3
+    lut: Optional[bool] = None
+    op: str = field(default="hello", init=False)
+
+
+@dataclass(frozen=True)
+class WindowRequest:
+    """A robot's beacon round boundary: ``event`` is ``open``/``close``."""
+
+    tenant: str
+    robot: int
+    event: str
+    t: float = 0.0
+    op: str = field(default="window", init=False)
+
+
+@dataclass(frozen=True)
+class ObserveRequest:
+    """One beacon observation for one robot."""
+
+    tenant: str
+    robot: int
+    seq: int
+    x: float
+    y: float
+    rssi_dbm: float
+    anchor_id: Optional[int] = None
+    t: float = 0.0
+    op: str = field(default="observe", init=False)
+
+
+@dataclass(frozen=True)
+class FixRequest:
+    """Query a robot's current position estimate."""
+
+    tenant: str
+    robot: int
+    op: str = field(default="fix", init=False)
+
+
+@dataclass(frozen=True)
+class ConfidenceRequest:
+    """Query a robot's posterior spread / entropy."""
+
+    tenant: str
+    robot: int
+    op: str = field(default="confidence", init=False)
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    """Query a tenant session's counters."""
+
+    tenant: str
+    op: str = field(default="stats", init=False)
+
+
+@dataclass(frozen=True)
+class ByeRequest:
+    """Drop the tenant session (frees its estimators immediately)."""
+
+    tenant: str
+    op: str = field(default="bye", init=False)
+
+
+@dataclass(frozen=True)
+class PingRequest:
+    """Liveness probe; routes through a shard like any other request."""
+
+    tenant: str = ""
+    op: str = field(default="ping", init=False)
+
+
+Request = Union[
+    HelloRequest,
+    WindowRequest,
+    ObserveRequest,
+    FixRequest,
+    ConfidenceRequest,
+    StatsRequest,
+    ByeRequest,
+    PingRequest,
+]
+
+_REQUEST_TYPES: Dict[str, type] = {
+    "hello": HelloRequest,
+    "window": WindowRequest,
+    "observe": ObserveRequest,
+    "fix": FixRequest,
+    "confidence": ConfidenceRequest,
+    "stats": StatsRequest,
+    "bye": ByeRequest,
+    "ping": PingRequest,
+}
+
+_WINDOW_EVENTS = ("open", "close")
+
+
+@dataclass(frozen=True)
+class Response:
+    """One reply line.
+
+    Attributes:
+        ok: request succeeded.
+        error: machine-readable failure tag (``overloaded``,
+            ``unknown_tenant``, ``bad_request``, ...) when ``ok`` is
+            False.
+        payload: op-specific result fields.
+    """
+
+    ok: bool
+    error: Optional[str] = None
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+def error_response(tag: str, detail: Optional[str] = None) -> Response:
+    payload = {} if detail is None else {"detail": detail}
+    return Response(ok=False, error=tag, payload=payload)
+
+
+def parse_request(data: Union[str, bytes, Dict[str, Any]]) -> Request:
+    """Decode one request line (or an already-parsed mapping).
+
+    Raises:
+        ProtocolError: malformed JSON, unknown op, or bad fields.
+    """
+    if isinstance(data, (str, bytes)):
+        if len(data) > MAX_LINE_BYTES:
+            raise ProtocolError("request line exceeds %d bytes" % MAX_LINE_BYTES)
+        try:
+            data = json.loads(data)
+        except ValueError as exc:
+            raise ProtocolError("malformed JSON: %s" % exc) from None
+    if not isinstance(data, dict):
+        raise ProtocolError("request must be a JSON object")
+    op = data.get("op")
+    cls = _REQUEST_TYPES.get(op)
+    if cls is None:
+        raise ProtocolError("unknown op %r" % (op,))
+    fields = {k: v for k, v in data.items() if k != "op"}
+    try:
+        request = cls(**fields)
+    except TypeError as exc:
+        raise ProtocolError("bad %s request: %s" % (op, exc)) from None
+    _validate(request)
+    return request
+
+
+def _validate(request: Request) -> None:
+    if not isinstance(request, PingRequest):
+        tenant = request.tenant
+        if not isinstance(tenant, str) or not tenant or len(tenant) > 256:
+            raise ProtocolError("tenant must be a non-empty string (<=256 chars)")
+    if isinstance(request, WindowRequest):
+        if request.event not in _WINDOW_EVENTS:
+            raise ProtocolError(
+                "window event must be one of %r" % (_WINDOW_EVENTS,)
+            )
+        _check_int("robot", request.robot)
+    if isinstance(request, ObserveRequest):
+        _check_int("robot", request.robot)
+        _check_int("seq", request.seq)
+        for name in ("x", "y", "rssi_dbm", "t"):
+            value = getattr(request, name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ProtocolError("%s must be a number" % name)
+        if request.anchor_id is not None:
+            _check_int("anchor_id", request.anchor_id)
+    if isinstance(request, (FixRequest, ConfidenceRequest)):
+        _check_int("robot", request.robot)
+    if isinstance(request, HelloRequest):
+        if request.calibration_samples < 1:
+            raise ProtocolError("calibration_samples must be >= 1")
+        if request.area_side_m <= 0 or request.grid_resolution_m <= 0:
+            raise ProtocolError("area/grid dimensions must be positive")
+        if request.min_beacons_for_fix < 1:
+            raise ProtocolError("min_beacons_for_fix must be >= 1")
+
+
+def _check_int(name: str, value: Any) -> None:
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise ProtocolError("%s must be a non-negative integer" % name)
+
+
+def encode_request(request: Request) -> str:
+    """One request as its wire line (no trailing newline)."""
+    record = asdict(request)
+    # Drop defaulted optionals to keep lines short on the hot path.
+    if record.get("anchor_id", 0) is None:
+        del record["anchor_id"]
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def encode_response(response: Response) -> str:
+    """One response as its wire line (no trailing newline)."""
+    record: Dict[str, Any] = {"ok": response.ok}
+    if response.error is not None:
+        record["error"] = response.error
+    record.update(response.payload)
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def parse_response(line: Union[str, bytes]) -> Response:
+    """Decode one response line back into a :class:`Response`."""
+    try:
+        data = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError("malformed response JSON: %s" % exc) from None
+    if not isinstance(data, dict) or "ok" not in data:
+        raise ProtocolError("response must be a JSON object with 'ok'")
+    ok = bool(data.pop("ok"))
+    error = data.pop("error", None)
+    return Response(ok=ok, error=error, payload=data)

@@ -1,0 +1,364 @@
+"""The streaming localization server: accept, route, degrade, expose.
+
+Two layers:
+
+- :class:`ServiceCore` is the transport-free heart — shards, sessions,
+  the warm-start calibration store and the telemetry registry.  Tests
+  and the in-process client drive it directly; the TCP front end is a
+  thin shell around it.
+- :class:`LocalizationServer` owns the socket: newline-delimited JSON
+  request/response streams (pipelining allowed, responses in request
+  order per connection) plus a plain-HTTP ``GET /metrics`` answering
+  with the Prometheus exposition of the registry — one port serves both
+  robots and scrapers.
+
+Backpressure stack, outermost first:
+
+1. a slow *consumer* (not reading its responses) fills the bounded
+   per-connection reply queue, which pauses that connection's reader —
+   TCP flow control pushes back to the sender; nobody else is affected;
+2. a hot *tenant* exhausts its per-tenant in-flight budget and gets
+   ``tenant_overloaded`` rejections while its neighbours keep flowing;
+3. a saturated *shard* sheds everything beyond its bounded queue with
+   constant-cost ``overloaded`` replies rather than queueing latency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.serve.protocol import (
+    ProtocolError,
+    Request,
+    Response,
+    encode_response,
+    error_response,
+    parse_request,
+)
+from repro.serve.session import (
+    CalibrationStore,
+    SessionLimits,
+    TenantSession,
+)
+from repro.serve.shard import Shard, shard_index_for
+from repro.telemetry.export import prometheus_text
+from repro.telemetry.registry import DURATION_EDGES_S, MetricsRegistry
+
+__all__ = ["ServeConfig", "ServiceCore", "LocalizationServer"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Service deployment knobs.
+
+    Attributes:
+        host: bind address.
+        port: bind port (0 = ephemeral, reported after start).
+        n_shards: worker event loops; tenants hash-partition over them.
+        queue_limit: bounded request-queue depth per shard.
+        tenant_inflight_limit: queued requests one tenant may hold in
+            its shard before being shed.
+        session_ttl_s: idle seconds before a tenant session is evicted
+            (0 disables eviction).
+        sweep_interval_s: idle-eviction sweep cadence per shard.
+        max_robots_per_tenant: estimator lanes one session may hold.
+        max_pending_observations: buffered observations per robot per
+            beacon window.
+        reply_queue_limit: per-connection response backlog before the
+            reader pauses (slow-consumer backpressure).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    n_shards: int = 4
+    queue_limit: int = 256
+    tenant_inflight_limit: int = 32
+    session_ttl_s: float = 300.0
+    sweep_interval_s: float = 1.0
+    max_robots_per_tenant: int = 256
+    max_pending_observations: int = 1024
+    reply_queue_limit: int = 128
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 65535:
+            raise ValueError("port must be in [0, 65535]")
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if self.reply_queue_limit < 1:
+            raise ValueError("reply_queue_limit must be >= 1")
+
+
+class ServiceCore:
+    """Routing core: shards, sessions, calibration store, telemetry.
+
+    Args:
+        config: deployment knobs.
+        registry: telemetry registry (a fresh one by default; the
+            ``/metrics`` endpoint renders it).
+        warm_store: optional
+            :class:`~repro.orchestrator.cache.ResultCache` used as the
+            calibration warm-start store.
+        clock: monotonic time source shared by shards and sessions
+            (injectable so TTL tests never sleep).
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+        warm_store=None,
+        clock=None,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._clock = clock if clock is not None else time.monotonic
+        self.calibrations = CalibrationStore(
+            warm_store=warm_store, registry=self.registry
+        )
+        self._limits = SessionLimits(
+            max_robots=self.config.max_robots_per_tenant,
+            max_pending_observations=self.config.max_pending_observations,
+        )
+        self.shards: List[Shard] = [
+            Shard(
+                index=i,
+                session_factory=self._build_session,
+                queue_limit=self.config.queue_limit,
+                tenant_inflight_limit=self.config.tenant_inflight_limit,
+                session_ttl_s=self.config.session_ttl_s,
+                sweep_interval_s=self.config.sweep_interval_s,
+                clock=self._clock,
+                registry=self.registry,
+            )
+            for i in range(self.config.n_shards)
+        ]
+        self._started = False
+
+    def _build_session(self, hello) -> TenantSession:
+        return TenantSession(
+            hello,
+            table=self.calibrations.table_for(hello),
+            limits=self._limits,
+            clock=self._clock,
+            registry=self.registry,
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start every shard worker (requires a running event loop)."""
+        if self._started:
+            return
+        for shard in self.shards:
+            shard.start()
+        self._started = True
+
+    async def stop(self) -> None:
+        for shard in self.shards:
+            await shard.stop()
+        self._started = False
+
+    # -- routing -------------------------------------------------------------
+
+    def shard_for(self, tenant: str) -> Shard:
+        return self.shards[shard_index_for(tenant, len(self.shards))]
+
+    def submit(self, request: Request) -> "asyncio.Future":
+        """Route one request to its tenant's shard (may shed).
+
+        Returns a future resolving to the :class:`Response`; latency
+        from submission to resolution lands in the
+        ``serve_request_latency_s`` histogram.
+        """
+        self.registry.counter("serve_requests_total").inc()
+        started = self._clock()
+        future = self.shard_for(getattr(request, "tenant", "")).submit(request)
+        histogram = self.registry.histogram(
+            "serve_request_latency_s", DURATION_EDGES_S
+        )
+
+        def _observe(done: "asyncio.Future") -> None:
+            if not done.cancelled():
+                histogram.observe(self._clock() - started)
+
+        future.add_done_callback(_observe)
+        return future
+
+    async def handle(self, request: Request) -> Response:
+        """Submit and await one request (the in-process client path)."""
+        return await self.submit(request)
+
+    # -- observability -------------------------------------------------------
+
+    def metrics_text(self) -> str:
+        """The registry in Prometheus exposition format."""
+        self._refresh_gauges()
+        return prometheus_text(self.registry)
+
+    def _refresh_gauges(self) -> None:
+        sessions = sum(len(shard.sessions) for shard in self.shards)
+        robots = sum(
+            session.n_robots
+            for shard in self.shards
+            for session in shard.sessions.values()
+        )
+        self.registry.gauge("serve_sessions_active").set(sessions)
+        self.registry.gauge("serve_robots_active").set(robots)
+        self.registry.gauge("serve_shards").set(len(self.shards))
+
+    def stats(self) -> Dict[str, float]:
+        """Flat service counters (CLI summaries, tests)."""
+        self._refresh_gauges()
+        out = dict(self.registry.metrics())
+        out["serve_shed_total_all"] = float(
+            sum(shard.shed for shard in self.shards)
+        )
+        out["serve_processed_total"] = float(
+            sum(shard.processed for shard in self.shards)
+        )
+        return out
+
+
+class LocalizationServer:
+    """The TCP front end: NDJSON request streams plus HTTP ``/metrics``.
+
+    Args:
+        core: the routing core (one core per server).
+    """
+
+    def __init__(self, core: ServiceCore) -> None:
+        self.core = core
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def port(self) -> Optional[int]:
+        """The bound port once started (resolves ``port=0`` binds)."""
+        if self._server is None or not self._server.sockets:
+            return None
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind the socket and start the shard workers."""
+        if self._server is not None:
+            return
+        self.core.start()
+        config = self.core.config
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=config.host, port=config.port
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.core.stop()
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        registry = self.core.registry
+        registry.counter("serve_connections_total").inc()
+        replies: "asyncio.Queue" = asyncio.Queue(
+            maxsize=self.core.config.reply_queue_limit
+        )
+        writer_task = asyncio.get_running_loop().create_task(
+            self._write_replies(replies, writer)
+        )
+        try:
+            await self._read_requests(reader, writer, replies)
+        finally:
+            await replies.put(None)  # sentinel: flush and stop
+            try:
+                await writer_task
+            except Exception:
+                pass
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _read_requests(self, reader, writer, replies) -> None:
+        first = True
+        while True:
+            try:
+                line = await reader.readline()
+            except (ConnectionError, asyncio.IncompleteReadError):
+                return
+            if not line:
+                return
+            if first and line.startswith(b"GET "):
+                await self._serve_http(line, reader, writer)
+                return
+            first = False
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                request = parse_request(stripped)
+            except ProtocolError as exc:
+                self.core.registry.counter("serve_protocol_errors").inc()
+                done = asyncio.get_running_loop().create_future()
+                done.set_result(error_response("bad_request", str(exc)))
+                await replies.put(done)
+                continue
+            # Bounded reply queue: when the consumer stops reading its
+            # responses this put blocks, pausing the reader — TCP
+            # backpressure all the way to the sender.
+            await replies.put(self.core.submit(request))
+
+    async def _write_replies(self, replies, writer) -> None:
+        while True:
+            pending = await replies.get()
+            if pending is None:
+                return
+            response = await pending
+            try:
+                writer.write(encode_response(response).encode("utf-8") + b"\n")
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                return
+
+    # -- HTTP scrape ---------------------------------------------------------
+
+    async def _serve_http(self, first_line: bytes, reader, writer) -> None:
+        """Answer one HTTP request (``GET /metrics``) and close."""
+        try:
+            while True:  # drain the header block
+                header = await asyncio.wait_for(reader.readline(), timeout=2.0)
+                if header in (b"\r\n", b"\n", b""):
+                    break
+        except (asyncio.TimeoutError, ConnectionError):
+            return
+        parts = first_line.decode("latin-1").split()
+        path = parts[1] if len(parts) >= 2 else "/"
+        if path in ("/metrics", "/metrics/"):
+            self.core.registry.counter("serve_http_scrapes").inc()
+            body = self.core.metrics_text().encode("utf-8")
+            status = b"HTTP/1.1 200 OK\r\n"
+            ctype = b"Content-Type: text/plain; version=0.0.4\r\n"
+        else:
+            body = b"only /metrics is served here\n"
+            status = b"HTTP/1.1 404 Not Found\r\n"
+            ctype = b"Content-Type: text/plain\r\n"
+        try:
+            writer.write(
+                status + ctype
+                + b"Content-Length: %d\r\n" % len(body)
+                + b"Connection: close\r\n\r\n" + body
+            )
+            await writer.drain()
+        except ConnectionError:
+            pass

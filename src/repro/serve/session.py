@@ -1,0 +1,401 @@
+"""Per-tenant estimator sessions and the warm-start calibration store.
+
+A :class:`TenantSession` owns one tenant's live localization state: one
+RF-only :class:`~repro.core.estimator.PositionEstimator` per robot, fed
+through the estimator's ingestion surface exactly as the batch
+coordinator feeds it.  Sessions are synchronous, single-owner objects —
+each one lives inside exactly one shard worker (see
+:mod:`repro.serve.shard`), so they need no locks.
+
+Determinism contract (regression-tested in ``tests/test_serve_replay.py``):
+
+- observations buffer per (robot, window) and are applied **sorted by
+  their source sequence number** at window close, so any delivery order
+  within a window produces the same filter-application order — the one
+  the batch simulation used;
+- the estimator is built with every graceful-degradation defense off
+  (matching :class:`~repro.core.config.DefenseConfig` defaults) and the
+  same grid geometry / PDF table / LUT setting as the recording run;
+- observations arriving while no window is open are acknowledged but
+  never applied: in the batch path such beacons land in a filter that
+  the next window-open resets before any fix reads it, so dropping
+  them is fix-equivalent (and keeps a session's memory bounded).
+
+Calibration tables are a property of the radio hardware, not the
+tenant, and cost ~1 s to build at paper fidelity — so
+:class:`CalibrationStore` shares them across tenants in-process and
+warm-starts them from the orchestrator's content-addressed cache
+(:meth:`~repro.orchestrator.cache.ResultCache.get_payload`) across
+processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.calibration import build_pdf_table
+from repro.core.config import LocalizationMode
+from repro.core.estimator import BeaconObservation, PositionEstimator
+from repro.core.pdf_table import PdfTable
+from repro.kernels import resolve_kernels
+from repro.net.phy import PathLossModel, ReceiverModel
+from repro.serve.protocol import (
+    ConfidenceRequest,
+    FixRequest,
+    HelloRequest,
+    ObserveRequest,
+    Response,
+    StatsRequest,
+    WindowRequest,
+    error_response,
+)
+from repro.sim.rng import RandomStreams
+from repro.telemetry.registry import NULL_REGISTRY
+from repro.util.geometry import Rect
+
+__all__ = [
+    "SessionLimits",
+    "TenantSession",
+    "CalibrationStore",
+    "calibration_fingerprint",
+]
+
+
+class SessionLimits:
+    """Graceful-degradation knobs for one session.
+
+    Attributes:
+        max_robots: robots one tenant may track (further window-opens
+            are refused with ``robot_limit``).
+        max_pending_observations: buffered observations per robot per
+            window; overflow is dropped and counted, never queued
+            unboundedly.
+    """
+
+    __slots__ = ("max_robots", "max_pending_observations")
+
+    def __init__(
+        self,
+        max_robots: int = 256,
+        max_pending_observations: int = 1024,
+    ) -> None:
+        if max_robots < 1 or max_pending_observations < 1:
+            raise ValueError("session limits must be >= 1")
+        self.max_robots = max_robots
+        self.max_pending_observations = max_pending_observations
+
+
+class _RobotLane:
+    """One robot's window state inside a session."""
+
+    __slots__ = ("estimator", "window", "window_open", "pending")
+
+    def __init__(self, estimator: PositionEstimator) -> None:
+        self.estimator = estimator
+        self.window = 0
+        self.window_open = False
+        #: (seq, observation) buffered for the current window.
+        self.pending: List[Tuple[int, BeaconObservation]] = []
+
+
+class TenantSession:
+    """One tenant's estimator state machine.
+
+    Args:
+        hello: the session-opening request (geometry + calibration id).
+        table: the tenant's calibrated PDF table (shared, never mutated
+            here).
+        limits: per-tenant degradation limits.
+        clock: monotonic time source for idle tracking (injectable so
+            eviction tests never sleep).
+        registry: telemetry registry for service-level counters.
+    """
+
+    def __init__(
+        self,
+        hello: HelloRequest,
+        table: PdfTable,
+        limits: Optional[SessionLimits] = None,
+        clock: Optional[Callable[[], float]] = None,
+        registry=NULL_REGISTRY,
+    ) -> None:
+        self.tenant = hello.tenant
+        self.hello = hello
+        self._table = table
+        self._limits = limits if limits is not None else SessionLimits()
+        self._clock = clock if clock is not None else _ZERO_CLOCK
+        self._registry = registry
+        self._area = Rect.square(hello.area_side_m)
+        self._lanes: Dict[int, _RobotLane] = {}
+        self.last_active = self._clock()
+        # Session counters (also served by the ``stats`` op).
+        self.observations = 0
+        self.observations_dropped = 0
+        self.observations_out_of_window = 0
+        self.windows_opened = 0
+        self.windows_closed = 0
+        self.fixes = 0
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def n_robots(self) -> int:
+        return len(self._lanes)
+
+    def idle_for(self, now: float) -> float:
+        """Seconds since the last request touched this session."""
+        return max(0.0, now - self.last_active)
+
+    def _lane_for(self, robot: int, create: bool) -> Optional[_RobotLane]:
+        lane = self._lanes.get(robot)
+        if lane is None and create:
+            if len(self._lanes) >= self._limits.max_robots:
+                return None
+            estimator = PositionEstimator(
+                mode=LocalizationMode.RF_ONLY,
+                area=self._area,
+                pdf_table=self._table,
+                grid_resolution_m=self.hello.grid_resolution_m,
+                min_beacons_for_fix=self.hello.min_beacons_for_fix,
+            )
+            lane = self._lanes[robot] = _RobotLane(estimator)
+        return lane
+
+    # -- request handling ----------------------------------------------------
+
+    def handle(self, request) -> Response:
+        """Dispatch one already-validated request for this tenant."""
+        self.last_active = self._clock()
+        if isinstance(request, ObserveRequest):
+            return self._observe(request)
+        if isinstance(request, WindowRequest):
+            if request.event == "open":
+                return self._window_open(request)
+            return self._window_close(request)
+        if isinstance(request, FixRequest):
+            return self._fix(request)
+        if isinstance(request, ConfidenceRequest):
+            return self._confidence(request)
+        if isinstance(request, StatsRequest):
+            return Response(ok=True, payload=self.stats())
+        if isinstance(request, HelloRequest):
+            # Re-hello on a live session: idempotent attach.
+            return Response(ok=True, payload={"tenant": self.tenant,
+                                              "attached": True})
+        return error_response("bad_request", "unhandled op for session")
+
+    def _window_open(self, request: WindowRequest) -> Response:
+        lane = self._lane_for(request.robot, create=True)
+        if lane is None:
+            return error_response(
+                "robot_limit",
+                "tenant tracks %d robots already" % self._limits.max_robots,
+            )
+        if lane.pending:
+            # Stale buffer from a window that never closed: those
+            # observations could no longer influence any fix (the open
+            # resets the filter), so drop rather than grow.
+            self.observations_dropped += len(lane.pending)
+            lane.pending.clear()
+        lane.window += 1
+        lane.window_open = True
+        lane.estimator.on_window_open()
+        self.windows_opened += 1
+        self._registry.counter("serve_windows_opened").inc()
+        return Response(ok=True, payload={"window": lane.window})
+
+    def _observe(self, request: ObserveRequest) -> Response:
+        lane = self._lane_for(request.robot, create=False)
+        if lane is None or not lane.window_open:
+            # Mirrors the batch path: a beacon landing outside a round
+            # is wiped by the next window-open's filter reset before
+            # any fix can read it, so it is acknowledged and discarded.
+            self.observations_out_of_window += 1
+            return Response(ok=True, payload={"buffered": False})
+        if len(lane.pending) >= self._limits.max_pending_observations:
+            self.observations_dropped += 1
+            self._registry.counter("serve_observations_dropped").inc()
+            return error_response("pending_limit")
+        lane.pending.append((
+            request.seq,
+            BeaconObservation(
+                x=request.x,
+                y=request.y,
+                rssi_dbm=request.rssi_dbm,
+                anchor_id=request.anchor_id,
+                t=request.t,
+            ),
+        ))
+        self.observations += 1
+        self._registry.counter("serve_observations_total").inc()
+        return Response(ok=True, payload={"buffered": True})
+
+    def _window_close(self, request: WindowRequest) -> Response:
+        lane = self._lane_for(request.robot, create=False)
+        if lane is None or not lane.window_open:
+            return error_response("no_open_window")
+        estimator = lane.estimator
+        fixes_before = estimator.fixes
+        # Source order, not arrival order: this is the determinism hinge.
+        lane.pending.sort(key=lambda item: item[0])
+        for _seq, observation in lane.pending:
+            estimator.ingest_observation(observation)
+        applied = len(lane.pending)
+        lane.pending.clear()
+        estimator.on_window_close()
+        lane.window_open = False
+        self.windows_closed += 1
+        self._registry.counter("serve_windows_closed").inc()
+        fixed = estimator.fixes > fixes_before
+        payload = {
+            "window": lane.window,
+            "applied": applied,
+            "fixed": fixed,
+            "fixes": estimator.fixes,
+        }
+        if fixed:
+            self.fixes += 1
+            self._registry.counter("serve_fixes_total").inc()
+            payload.update(_fix_fields(estimator))
+        return Response(ok=True, payload=payload)
+
+    def _fix(self, request: FixRequest) -> Response:
+        lane = self._lane_for(request.robot, create=False)
+        if lane is None:
+            return error_response("unknown_robot")
+        estimator = lane.estimator
+        self._registry.counter("serve_fix_queries").inc()
+        payload = {
+            "has_fix": estimator.has_fix,
+            "fixes": estimator.fixes,
+            "window": lane.window,
+        }
+        payload.update(_fix_fields(estimator))
+        return Response(ok=True, payload=payload)
+
+    def _confidence(self, request: ConfidenceRequest) -> Response:
+        lane = self._lane_for(request.robot, create=False)
+        if lane is None:
+            return error_response("unknown_robot")
+        estimator = lane.estimator
+        self._registry.counter("serve_confidence_queries").inc()
+        payload = {
+            "beacons_applied": estimator.filter.beacons_applied,
+            "std_m": estimator.filter.position_std_m(),
+            "entropy_bits": estimator.filter.entropy_bits(),
+            "has_fix": estimator.has_fix,
+        }
+        if estimator.last_fix_std_m is not None:
+            payload["last_fix_std_m"] = estimator.last_fix_std_m
+        return Response(ok=True, payload=payload)
+
+    def stats(self) -> Dict[str, object]:
+        """The session's counters (the ``stats`` op payload)."""
+        return {
+            "tenant": self.tenant,
+            "robots": self.n_robots,
+            "observations": self.observations,
+            "observations_dropped": self.observations_dropped,
+            "observations_out_of_window": self.observations_out_of_window,
+            "windows_opened": self.windows_opened,
+            "windows_closed": self.windows_closed,
+            "fixes": self.fixes,
+        }
+
+
+def _fix_fields(estimator: PositionEstimator) -> Dict[str, object]:
+    """The estimate, both as JSON floats (repr round-trips doubles
+    exactly) and as ``float.hex`` tokens for the byte-equality gate."""
+    estimate = estimator.estimate
+    return {
+        "x": estimate.x,
+        "y": estimate.y,
+        "x_hex": float(estimate.x).hex(),
+        "y_hex": float(estimate.y).hex(),
+    }
+
+
+def _ZERO_CLOCK() -> float:
+    return 0.0
+
+
+# -- calibration warm-start --------------------------------------------------
+
+
+def calibration_fingerprint(
+    seed: int,
+    samples: int,
+    path_loss: Optional[PathLossModel] = None,
+    receiver: Optional[ReceiverModel] = None,
+) -> str:
+    """Content hash naming one calibration table in the warm-start store.
+
+    Prefixed so calibration payloads can never collide with TeamResult
+    fingerprints inside the shared orchestrator cache.
+    """
+    path_loss = path_loss if path_loss is not None else PathLossModel()
+    receiver = receiver if receiver is not None else ReceiverModel()
+    token = "calibration|seed=%d|samples=%d|%r|%r" % (
+        seed, samples, path_loss, receiver,
+    )
+    return "cal-" + hashlib.sha256(token.encode("utf-8")).hexdigest()
+
+
+class CalibrationStore:
+    """Shares calibrated PDF tables across tenants and processes.
+
+    Lookup order: in-process dict (keyed by seed/samples/LUT flag) →
+    the orchestrator's content-addressed cache (when given) → a fresh
+    :func:`~repro.core.calibration.build_pdf_table` run, whose result
+    is pushed back into both layers.
+
+    Args:
+        warm_store: optional
+            :class:`~repro.orchestrator.cache.ResultCache`; its payload
+            API persists tables across server restarts.
+        registry: telemetry registry (hit/miss counters).
+    """
+
+    def __init__(self, warm_store=None, registry=NULL_REGISTRY) -> None:
+        self._warm_store = warm_store
+        self._registry = registry
+        self._tables: Dict[Tuple[int, int, bool], PdfTable] = {}
+
+    def table_for(self, hello: HelloRequest) -> PdfTable:
+        """The (possibly cached) table for a hello's calibration identity."""
+        kernels = resolve_kernels(None)
+        lut = hello.lut if hello.lut is not None else kernels.lut_pdf
+        key = (hello.calibration_seed, hello.calibration_samples, bool(lut))
+        table = self._tables.get(key)
+        if table is not None:
+            self._registry.counter("serve_warmstart_hits").inc()
+            return table
+        table = self._warm_table(
+            hello.calibration_seed, hello.calibration_samples
+        )
+        # LUT selection is per-table; tables are cached per LUT flag so
+        # tenants with different flags never mutate each other's table.
+        table.set_lut(bool(lut), kernels.lut_entries)
+        self._tables[key] = table
+        return table
+
+    def _warm_table(self, seed: int, samples: int) -> PdfTable:
+        fingerprint = calibration_fingerprint(seed, samples)
+        if self._warm_store is not None:
+            cached = self._warm_store.get_payload(fingerprint, PdfTable)
+            if cached is not None:
+                self._registry.counter("serve_warmstart_hits").inc()
+                return cached
+        self._registry.counter("serve_warmstart_misses").inc()
+        result = build_pdf_table(
+            PathLossModel(),
+            RandomStreams(seed).get("calibration"),
+            n_samples=samples,
+            receiver=ReceiverModel(),
+        )
+        if self._warm_store is not None:
+            self._warm_store.put_payload(
+                fingerprint, result.table, job_name="serve-calibration"
+            )
+        return result.table

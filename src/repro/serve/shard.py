@@ -1,0 +1,243 @@
+"""Shard workers: bounded queues, backpressure and session eviction.
+
+Tenants are partitioned over a fixed set of shards by a **stable** hash
+of the tenant name (SHA-256, never Python's randomized ``hash``), so a
+tenant's requests always serialize through one shard worker — which is
+what lets :class:`~repro.serve.session.TenantSession` stay lock-free.
+
+Each shard runs one asyncio worker task draining a **bounded** queue:
+
+- a full shard queue sheds new work immediately with an ``overloaded``
+  error instead of queueing unboundedly (constant-cost rejection is the
+  degradation mode, not latency collapse);
+- a per-tenant in-flight cap sheds a single hot tenant *before* it can
+  fill the shard queue and starve its neighbours (``tenant_overloaded``);
+- between requests the worker sweeps idle sessions against the
+  configured TTL, so abandoned tenants cannot hold estimator grids
+  forever.
+
+Every queue transition is counted in the server's telemetry registry;
+``/metrics`` makes the pressure visible while the service runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+from typing import Callable, Dict, Optional
+
+from repro.serve.protocol import (
+    ByeRequest,
+    HelloRequest,
+    PingRequest,
+    Request,
+    Response,
+    error_response,
+)
+from repro.serve.session import TenantSession
+from repro.telemetry.registry import NULL_REGISTRY
+
+__all__ = ["Shard", "shard_index_for"]
+
+
+def shard_index_for(tenant: str, n_shards: int) -> int:
+    """Stable tenant → shard mapping (identical across processes/runs)."""
+    digest = hashlib.sha256(tenant.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % n_shards
+
+
+class Shard:
+    """One worker event loop owning a disjoint set of tenant sessions.
+
+    Args:
+        index: shard number (labels and stats).
+        session_factory: builds a :class:`TenantSession` from a
+            :class:`~repro.serve.protocol.HelloRequest` (the server
+            injects the calibration store through this).
+        queue_limit: bounded queue depth; submissions beyond it shed.
+        tenant_inflight_limit: queued-request cap per tenant.
+        session_ttl_s: idle seconds before a session is evicted
+            (``0`` disables eviction).
+        sweep_interval_s: how long the worker waits for work before
+            running an eviction sweep.
+        clock: monotonic time source (injectable for tests).
+        registry: telemetry registry for queue/eviction counters.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        session_factory: Callable[[HelloRequest], TenantSession],
+        queue_limit: int = 256,
+        tenant_inflight_limit: int = 32,
+        session_ttl_s: float = 300.0,
+        sweep_interval_s: float = 1.0,
+        clock: Optional[Callable[[], float]] = None,
+        registry=NULL_REGISTRY,
+    ) -> None:
+        if queue_limit < 1 or tenant_inflight_limit < 1:
+            raise ValueError("queue limits must be >= 1")
+        if session_ttl_s < 0 or sweep_interval_s <= 0:
+            raise ValueError("ttl must be >= 0, sweep interval > 0")
+        self.index = index
+        self._session_factory = session_factory
+        self._queue_limit = queue_limit
+        self._tenant_limit = tenant_inflight_limit
+        self._ttl_s = session_ttl_s
+        self._sweep_s = sweep_interval_s
+        self._clock = clock if clock is not None else _zero_clock
+        self._registry = registry
+        self._queue: "asyncio.Queue" = asyncio.Queue(maxsize=queue_limit)
+        self._inflight: Dict[str, int] = {}
+        self.sessions: Dict[str, TenantSession] = {}
+        self._worker: Optional[asyncio.Task] = None
+        self._stopping = False
+        self.processed = 0
+        self.shed = 0
+        self.evicted = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker task (idempotent)."""
+        if self._worker is None:
+            self._stopping = False
+            self._worker = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        """Drain nothing further; cancel the worker and fail queued work."""
+        self._stopping = True
+        worker, self._worker = self._worker, None
+        if worker is not None:
+            worker.cancel()
+            try:
+                await worker
+            except asyncio.CancelledError:
+                pass
+        while not self._queue.empty():
+            _request, future = self._queue.get_nowait()
+            if not future.done():
+                future.set_result(error_response("shutting_down"))
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, request: Request) -> "asyncio.Future":
+        """Enqueue one request; resolves to its :class:`Response`.
+
+        Sheds (an immediately-resolved error future) when the shard
+        queue or the tenant's in-flight budget is exhausted.
+        """
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        if self._stopping:
+            future.set_result(error_response("shutting_down"))
+            return future
+        tenant = getattr(request, "tenant", "")
+        if self._inflight.get(tenant, 0) >= self._tenant_limit:
+            self.shed += 1
+            self._registry.counter("serve_shed_tenant").inc()
+            future.set_result(error_response("tenant_overloaded"))
+            return future
+        try:
+            self._queue.put_nowait((request, future))
+        except asyncio.QueueFull:
+            self.shed += 1
+            self._registry.counter("serve_shed_total").inc()
+            future.set_result(error_response("overloaded"))
+            return future
+        self._inflight[tenant] = self._inflight.get(tenant, 0) + 1
+        self._registry.gauge("serve_queue_depth_max").set_max(
+            self._queue.qsize()
+        )
+        return future
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    # -- worker --------------------------------------------------------------
+
+    async def _run(self) -> None:
+        while True:
+            try:
+                request, future = await asyncio.wait_for(
+                    self._queue.get(), timeout=self._sweep_s
+                )
+            except asyncio.TimeoutError:
+                self.sweep_idle_sessions()
+                continue
+            tenant = getattr(request, "tenant", "")
+            remaining = self._inflight.get(tenant, 1) - 1
+            if remaining > 0:
+                self._inflight[tenant] = remaining
+            else:
+                self._inflight.pop(tenant, None)
+            response = self.handle(request)
+            if not future.done():
+                future.set_result(response)
+            self.processed += 1
+
+    def handle(self, request: Request) -> Response:
+        """Process one request synchronously (the worker's inner step).
+
+        Exposed for the in-process client and unit tests; identical to
+        what the worker task runs.
+        """
+        try:
+            return self._dispatch(request)
+        except Exception as exc:  # service must outlive a bad request
+            self._registry.counter("serve_errors_total").inc()
+            return error_response("internal", "%s: %s" % (
+                type(exc).__name__, exc,
+            ))
+
+    def _dispatch(self, request: Request) -> Response:
+        if isinstance(request, PingRequest):
+            return Response(ok=True, payload={"pong": True,
+                                              "shard": self.index})
+        if isinstance(request, HelloRequest):
+            session = self.sessions.get(request.tenant)
+            if session is None:
+                session = self._session_factory(request)
+                self.sessions[request.tenant] = session
+                self._registry.counter("serve_sessions_created").inc()
+                self._registry.gauge("serve_sessions_active").set_max(
+                    len(self.sessions)
+                )
+                return Response(ok=True, payload={
+                    "tenant": request.tenant,
+                    "attached": False,
+                    "shard": self.index,
+                })
+            return session.handle(request)
+        if isinstance(request, ByeRequest):
+            session = self.sessions.pop(request.tenant, None)
+            if session is None:
+                return error_response("unknown_tenant")
+            return Response(ok=True, payload=session.stats())
+        session = self.sessions.get(request.tenant)
+        if session is None:
+            return error_response("unknown_tenant")
+        return session.handle(request)
+
+    # -- eviction ------------------------------------------------------------
+
+    def sweep_idle_sessions(self) -> int:
+        """Evict sessions idle past the TTL; returns the eviction count."""
+        if self._ttl_s <= 0 or not self.sessions:
+            return 0
+        now = self._clock()
+        expired = [
+            tenant
+            for tenant, session in sorted(self.sessions.items())
+            if session.idle_for(now) > self._ttl_s
+        ]
+        for tenant in expired:
+            del self.sessions[tenant]
+            self.evicted += 1
+            self._registry.counter("serve_sessions_evicted").inc()
+        return len(expired)
+
+
+def _zero_clock() -> float:
+    return 0.0

@@ -144,6 +144,20 @@ def render_report(
         % (_fmt(g("coordinator_windows_run")), _fmt(g("beacons_sent"))),
     ])
 
+    constraint_hits = snapshot.metrics.get("kernel_cache_constraint_hits")
+    if constraint_hits is not None:
+        ch = float(constraint_hits)
+        cm = g("kernel_cache_constraint_misses")
+        dh = g("kernel_cache_distance_hits")
+        dm = g("kernel_cache_distance_misses")
+        lines += _section("kernel cache", [
+            "constraint fields: hits %s, misses %s (hit rate %s)"
+            % (_fmt(ch), _fmt(cm), _pct(ch, ch + cm)),
+            "distance fields: hits %s, misses %s (hit rate %s)"
+            % (_fmt(dh), _fmt(dm), _pct(dh, dh + dm)),
+            "evictions %s" % _fmt(g("kernel_cache_evictions")),
+        ])
+
     if sweep is not None:
         hits = float(sweep.get("cache_hits", 0) or 0)
         misses = float(sweep.get("cache_misses", 0) or 0)
