@@ -14,9 +14,16 @@ that triggers the Bayes update) to receiving its response.  All tenants
 share one calibration identity, so the PDF table is built once and the
 measurement isolates the serving path, not calibration.
 
+The workload runs twice — once with session checkpointing on (the
+production default: every window close snapshots the session through
+the durability layer) and once with it off — so the report also states
+the checkpoint overhead as a fixes/sec ratio.
+
 Writes ``BENCH_serve.json`` (see ``--out``) with the scenario shape,
-sustained fixes/sec, and p50/p90/p99 latency in milliseconds — the same
-file the CI ``serve-smoke`` job uploads as an artifact.
+sustained fixes/sec, p50/p90/p99 latency in milliseconds and the
+checkpointing-on/off comparison — the same file the CI ``serve-smoke``
+job uploads as an artifact.  The headline numbers are the
+checkpointing-on run (what a real deployment serves).
 """
 
 from __future__ import annotations
@@ -125,16 +132,29 @@ def _observe(tenant, robot, seq, x, y, rssi, t):
                           x=x, y=y, rssi_dbm=rssi, t=t)
 
 
-async def run_bench(args: argparse.Namespace) -> Dict[str, object]:
+async def _run_load(args: argparse.Namespace,
+                    checkpointing: bool) -> Dict[str, object]:
+    """One full workload pass; returns raw totals for that pass."""
     core = ServiceCore(ServeConfig(
         port=0,
         n_shards=args.shards,
         queue_limit=max(256, args.tenants * args.robots * 4),
         tenant_inflight_limit=max(64, args.beacons * args.robots * 2),
+        checkpointing=checkpointing,
     ))
     server = LocalizationServer(core)
     await server.start()
     host, port = core.config.host, server.port
+    # Pre-build the shared calibration table outside the timed window,
+    # so the measurement (and the checkpointing-on/off comparison) is
+    # pure serving path, not one-off table construction.
+    from repro.serve.protocol import HelloRequest
+
+    core.calibrations.table_for(HelloRequest(
+        tenant="warmup",
+        calibration_samples=args.calibration_samples,
+        area_side_m=AREA_SIDE_M,
+    ))
     latencies_ms: List[float] = []
     started = time.perf_counter()
     totals = await asyncio.gather(*[
@@ -145,9 +165,33 @@ async def run_bench(args: argparse.Namespace) -> Dict[str, object]:
     wall_s = time.perf_counter() - started
     stats = core.stats()
     await server.stop()
-
     fixes = sum(t["fixes"] for t in totals)
-    closes = sum(t["closes"] for t in totals)
+    return {
+        "wall_s": wall_s,
+        "fixes": fixes,
+        "closes": sum(t["closes"] for t in totals),
+        "fixes_per_s": fixes / wall_s if wall_s else 0.0,
+        "latencies_ms": latencies_ms,
+        "stats": stats,
+    }
+
+
+async def run_bench(args: argparse.Namespace) -> Dict[str, object]:
+    # Off first (the baseline), then on — the headline run, reported in
+    # full.  Each pass boots a fresh server, so neither warms the other.
+    baseline = await _run_load(args, checkpointing=False)
+    durable = await _run_load(args, checkpointing=True)
+
+    latencies_ms = durable["latencies_ms"]
+    stats = durable["stats"]
+    wall_s = durable["wall_s"]
+    fixes = durable["fixes"]
+    closes = durable["closes"]
+    overhead_pct = 0.0
+    if baseline["fixes_per_s"] > 0:
+        overhead_pct = 100.0 * (
+            1.0 - durable["fixes_per_s"] / baseline["fixes_per_s"]
+        )
     quantiles = np.percentile(latencies_ms, [50.0, 90.0, 99.0])
     return {
         "benchmark": "serve",
@@ -180,6 +224,12 @@ async def run_bench(args: argparse.Namespace) -> Dict[str, object]:
             "max": round(float(np.max(latencies_ms)), 3),
             "samples": len(latencies_ms),
         },
+        "checkpointing": {
+            "on_fixes_per_s": round(durable["fixes_per_s"], 2),
+            "off_fixes_per_s": round(baseline["fixes_per_s"], 2),
+            "overhead_pct": round(overhead_pct, 2),
+            "checkpoints_saved": stats.get("serve_checkpoints_saved", 0.0),
+        },
         "service_metrics": {
             key: value for key, value in sorted(stats.items())
             if key.startswith("serve_")
@@ -208,6 +258,12 @@ def main(argv=None) -> int:
           "(max %.2f ms, n=%d)"
           % (latency["p50"], latency["p90"], latency["p99"],
              latency["max"], latency["samples"]))
+    durability = report["checkpointing"]
+    print("  checkpointing: %.1f fixes/s on vs %.1f off "
+          "(%.1f%% overhead, %d checkpoints)"
+          % (durability["on_fixes_per_s"], durability["off_fixes_per_s"],
+             durability["overhead_pct"],
+             int(durability["checkpoints_saved"])))
     print("  report written to %s" % args.out)
     if totals["fixes"] == 0:
         print("FAIL: benchmark produced no fixes")

@@ -223,10 +223,52 @@ def build_parser() -> argparse.ArgumentParser:
                             "is evicted (0 disables)")
     serve.add_argument("--warm-cache", metavar="DIR", default=None,
                        help="use this result-cache directory as the "
-                            "calibration warm-start store")
+                            "calibration warm-start store AND the "
+                            "checkpoint persistence layer")
+    serve.add_argument("--no-checkpointing", action="store_true",
+                       help="disable session checkpointing (crashes and "
+                            "evictions lose sessions)")
+    serve.add_argument("--no-supervise", action="store_true",
+                       help="disable shard-worker supervision (a dead "
+                            "worker stays dead)")
     serve.add_argument("--smoke", action="store_true",
-                       help="start, run a 2-tenant round trip plus a "
-                            "/metrics scrape against itself, then exit")
+                       help="start, run a 2-tenant round trip plus "
+                            "/metrics, /healthz and /readyz scrapes "
+                            "against itself, then exit")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="record a batch scenario, replay it through a live server "
+             "while a seeded fault schedule kills shards, severs "
+             "connections and evicts sessions; fail unless every fix "
+             "still matches the batch run byte-for-byte",
+    )
+    chaos.add_argument("--seed", type=int, default=1,
+                       help="scenario + schedule seed")
+    chaos.add_argument("--seeds", default=None, metavar="LIST",
+                       help="comma-separated seeds overriding --seed "
+                            "(e.g. 1,2,3)")
+    chaos.add_argument("--robots", type=_positive_int, default=10,
+                       help="scenario robots")
+    chaos.add_argument("--anchors", type=_positive_int, default=5,
+                       help="scenario anchors")
+    chaos.add_argument("--area", type=float, default=80.0,
+                       help="deployment square side (m)")
+    chaos.add_argument("--duration", type=float, default=60.0,
+                       help="scenario duration (s)")
+    chaos.add_argument("--samples", type=_positive_int, default=4000,
+                       help="calibration samples (paper fidelity: 120000)")
+    chaos.add_argument("--kills", type=int, default=1,
+                       help="kill_shard faults per run")
+    chaos.add_argument("--severs", type=int, default=2,
+                       help="connection-sever faults per run")
+    chaos.add_argument("--evicts", type=int, default=1,
+                       help="TTL-eviction faults per run")
+    chaos.add_argument("--delays", type=int, default=1,
+                       help="clock-delay faults per run")
+    chaos.add_argument("--log", metavar="PATH", default=None,
+                       help="write the chaos journal (JSONL) here; with "
+                            "multiple seeds, the seed is appended")
 
     calibrate = sub.add_parser(
         "calibrate", help="run the offline calibration and print the table"
@@ -658,6 +700,8 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
             queue_limit=args.queue_limit,
             tenant_inflight_limit=args.tenant_inflight,
             session_ttl_s=args.session_ttl,
+            checkpointing=not args.no_checkpointing,
+            supervise=not args.no_supervise,
         )
     except ValueError as exc:
         print("serve: %s" % exc, file=out)
@@ -665,22 +709,31 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
 
     async def _run() -> int:
         server = LocalizationServer(ServiceCore(config, warm_store=warm_store))
-        await server.start()
-        print("serving on %s:%d (%d shards%s); GET /metrics on the "
-              "same port"
+        try:
+            await server.start()
+        except OSError as exc:
+            # Unbindable host/port is a config error, same exit code as
+            # an invalid ServeConfig: scripts branch on 2, not on text.
+            print("serve: cannot bind %s:%d: %s"
+                  % (config.host, config.port, exc), file=out)
+            return 2
+        print("serving on %s:%d (%d shards%s%s); GET /metrics /healthz "
+              "/readyz on the same port"
               % (config.host, server.port, config.n_shards,
+                 "" if config.checkpointing else ", checkpointing off",
                  ", warm cache %s" % args.warm_cache
                  if args.warm_cache else ""), file=out)
         if args.smoke:
             code = await _serve_smoke(server, out)
-            await server.stop()
+            await server.drain()
             return code
         try:
             await server.serve_forever()
         except (KeyboardInterrupt, asyncio.CancelledError):
             pass
         finally:
-            await server.stop()
+            # Graceful drain: shed new work, flush checkpoints, stop.
+            await server.drain()
         return 0
 
     try:
@@ -688,6 +741,74 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
     except KeyboardInterrupt:
         print("interrupted", file=out)
         return 0
+
+
+def cmd_chaos(args: argparse.Namespace, out) -> int:
+    import asyncio
+
+    from repro.core.config import CoCoAConfig
+    from repro.serve import ChaosSchedule, record_replay_log, run_chaos
+    from repro.util.geometry import Rect
+
+    if args.seeds:
+        try:
+            seeds = [int(token) for token in args.seeds.split(",") if token]
+        except ValueError:
+            print("chaos: --seeds must be comma-separated integers",
+                  file=out)
+            return 2
+    else:
+        seeds = [args.seed]
+    if min(args.kills, args.severs, args.evicts, args.delays) < 0:
+        print("chaos: fault counts must be >= 0", file=out)
+        return 2
+
+    failures = 0
+    for seed in seeds:
+        config = CoCoAConfig(
+            area=Rect.square(args.area),
+            n_robots=args.robots,
+            n_anchors=args.anchors,
+            beacon_period_s=20.0,
+            duration_s=args.duration,
+            master_seed=seed,
+            calibration_samples=args.samples,
+            localization_mode=LocalizationMode.RF_ONLY,
+        )
+        log, result = record_replay_log(config)
+        if result.fixes == 0:
+            print("chaos: seed %d scenario produced no fixes; widen "
+                  "--duration or --anchors" % seed, file=out)
+            return 2
+        schedule = ChaosSchedule.for_log(
+            log, seed,
+            kills=args.kills, severs=args.severs,
+            evicts=args.evicts, delays=args.delays,
+        )
+        log_path = None
+        if args.log is not None:
+            log_path = (args.log if len(seeds) == 1
+                        else "%s.seed%d" % (args.log, seed))
+        report = asyncio.run(run_chaos(
+            log, schedule, chaos_log_path=log_path
+        ))
+        print(report.summary(), file=out)
+        for problem in report.problems[:10]:
+            print("  divergence: %s" % problem, file=out)
+        if len(report.problems) > 10:
+            print("  ... and %d more" % (len(report.problems) - 10),
+                  file=out)
+        if log_path is not None:
+            print("  journal: %s" % log_path, file=out)
+        if not report.ok:
+            failures += 1
+    if failures:
+        print("chaos: %d/%d seeds FAILED the byte-identical recovery "
+              "gate" % (failures, len(seeds)), file=out)
+        return 1
+    print("chaos: all %d seed(s) recovered byte-identically"
+          % len(seeds), file=out)
+    return 0
 
 
 async def _serve_smoke(server, out) -> int:
@@ -719,18 +840,28 @@ async def _serve_smoke(server, out) -> int:
             print("smoke: %s fix at (%.2f, %.2f)"
                   % (tenant, close.payload["x"], close.payload["y"]),
                   file=out)
-    reader, writer = await asyncio.open_connection(
-        server.core.config.host, port
-    )
-    writer.write(b"GET /metrics HTTP/1.1\r\nHost: smoke\r\n\r\n")
-    await writer.drain()
-    scrape = await reader.read(-1)
-    writer.close()
-    await writer.wait_closed()
+    async def _scrape(path: bytes) -> bytes:
+        reader, writer = await asyncio.open_connection(
+            server.core.config.host, port
+        )
+        writer.write(b"GET " + path + b" HTTP/1.1\r\nHost: smoke\r\n\r\n")
+        await writer.drain()
+        body = await reader.read(-1)
+        writer.close()
+        await writer.wait_closed()
+        return body
+
+    scrape = await _scrape(b"/metrics")
     if b"200 OK" not in scrape or b"serve_fixes_total" not in scrape:
         print("smoke FAIL: bad /metrics scrape", file=out)
         return 1
     print("smoke: /metrics scrape ok (%d bytes)" % len(scrape), file=out)
+    for path, want in ((b"/healthz", b"ok"), (b"/readyz", b"ready")):
+        scrape = await _scrape(path)
+        if b"200 OK" not in scrape or want not in scrape:
+            print("smoke FAIL: bad %s probe" % path.decode(), file=out)
+            return 1
+    print("smoke: /healthz and /readyz probes ok", file=out)
     return 0
 
 
@@ -781,6 +912,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return cmd_bench(args, out)
     if args.command == "serve":
         return cmd_serve(args, out)
+    if args.command == "chaos":
+        return cmd_chaos(args, out)
     if args.command == "calibrate":
         return cmd_calibrate(args, out)
     parser.error("unknown command %r" % args.command)

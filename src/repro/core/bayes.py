@@ -125,6 +125,40 @@ class GridBayesFilter:
         self._beacons_applied = 0
         self._annihilations = 0
 
+    # -- checkpointing --------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """The filter's evolving state as a picklable mapping.
+
+        Captures exactly what :meth:`restore_state` needs to continue
+        bit-identically: the posterior mass (copied, so later updates
+        cannot mutate the checkpoint) and the per-round counters.  The
+        grid geometry itself is *not* captured — it is construction
+        state, and the ``grid_signature`` guard at restore refuses a
+        mismatched geometry instead of silently resampling.
+        """
+        return {
+            "grid_signature": self.grid_signature,
+            "posterior": self._posterior.copy(),
+            "beacons_applied": self._beacons_applied,
+            "annihilations": self._annihilations,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a :meth:`snapshot_state` mapping (bit-exact resume).
+
+        Raises:
+            ValueError: the snapshot came from a different grid geometry.
+        """
+        if state.get("grid_signature") != self.grid_signature:
+            raise ValueError(
+                "filter snapshot geometry %r does not match this grid %r"
+                % (state.get("grid_signature"), self.grid_signature)
+            )
+        np.copyto(self._posterior, state["posterior"])
+        self._beacons_applied = int(state["beacons_applied"])
+        self._annihilations = int(state["annihilations"])
+
     def compute_distance_field(
         self, beacon: Vec2, out: Optional[np.ndarray] = None
     ) -> np.ndarray:

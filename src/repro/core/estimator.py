@@ -501,6 +501,105 @@ class PositionEstimator:
             )
         return False
 
+    # -- checkpointing --------------------------------------------------------
+    #
+    # snapshot()/restore() serialize every piece of evolving state the
+    # ingestion surface can touch, so that restore → continue replays
+    # bit-identically to never pausing.  This is what lets the streaming
+    # service (repro.serve) checkpoint tenant sessions through the
+    # orchestrator cache and survive crashes without drifting from the
+    # batch recording (tests/test_serve_durability.py).  Construction
+    # state (mode, grid geometry, PDF table, gate/defense knobs) is
+    # deliberately NOT captured: the restoring side must rebuild an
+    # identically-configured estimator first, and the filter's geometry
+    # guard refuses a mismatch instead of silently resampling.
+
+    def snapshot(self) -> Dict[str, object]:
+        """The estimator's evolving state as a picklable mapping.
+
+        Raises:
+            ValueError: the position filter does not support snapshots.
+        """
+        filter_state = None
+        if self._filter is not None:
+            probe = getattr(self._filter, "snapshot_state", None)
+            if probe is None:
+                raise ValueError(
+                    "position filter %s does not support snapshots"
+                    % type(self._filter).__name__
+                )
+            filter_state = probe()
+        reckoner_state = None
+        if self._dead_reckoner is not None:
+            reckoner_state = self._dead_reckoner.snapshot_state()
+        return {
+            "mode": self._mode.value,
+            "estimate": (self._estimate.x, self._estimate.y),
+            "last_fix": (
+                None if self._last_fix is None
+                else (self._last_fix.x, self._last_fix.y)
+            ),
+            "gate_armed": self._gate_armed,
+            "window_open": self._window_open,
+            "fixes": self.fixes,
+            "beacons_heard": self.beacons_heard,
+            "windows_without_fix": self.windows_without_fix,
+            "beacons_gated": self.beacons_gated,
+            "beacons_quarantined": self.beacons_quarantined,
+            "watchdog_resets": self.watchdog_resets,
+            "residual_suspicions": self.residual_suspicions,
+            "last_fix_std_m": self.last_fix_std_m,
+            "last_beacon_t": self._last_beacon_t,
+            "suspicion": dict(self._suspicion),
+            "window_beacons": [
+                (anchor_id, position.x, position.y, rssi_dbm)
+                for anchor_id, position, rssi_dbm in self._window_beacons
+            ],
+            "filter": filter_state,
+            "dead_reckoner": reckoner_state,
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Adopt a :meth:`snapshot` mapping (bit-exact resume).
+
+        Raises:
+            ValueError: the snapshot came from a different localization
+                mode, or the filter/grid shapes do not match.
+        """
+        if state.get("mode") != self._mode.value:
+            raise ValueError(
+                "snapshot mode %r does not match estimator mode %r"
+                % (state.get("mode"), self._mode.value)
+            )
+        if self._filter is not None:
+            if state.get("filter") is None:
+                raise ValueError("snapshot carries no filter state")
+            self._filter.restore_state(state["filter"])
+        if self._dead_reckoner is not None:
+            if state.get("dead_reckoner") is None:
+                raise ValueError("snapshot carries no dead-reckoner state")
+            self._dead_reckoner.restore_state(state["dead_reckoner"])
+        x, y = state["estimate"]
+        self._estimate = Vec2(x, y)
+        last_fix = state["last_fix"]
+        self._last_fix = None if last_fix is None else Vec2(*last_fix)
+        self._gate_armed = bool(state["gate_armed"])
+        self._window_open = bool(state["window_open"])
+        self.fixes = int(state["fixes"])
+        self.beacons_heard = int(state["beacons_heard"])
+        self.windows_without_fix = int(state["windows_without_fix"])
+        self.beacons_gated = int(state["beacons_gated"])
+        self.beacons_quarantined = int(state["beacons_quarantined"])
+        self.watchdog_resets = int(state["watchdog_resets"])
+        self.residual_suspicions = int(state["residual_suspicions"])
+        self.last_fix_std_m = state["last_fix_std_m"]
+        self._last_beacon_t = state["last_beacon_t"]
+        self._suspicion = dict(state["suspicion"])
+        self._window_beacons = [
+            (anchor_id, Vec2(bx, by), rssi_dbm)
+            for anchor_id, bx, by, rssi_dbm in state["window_beacons"]
+        ]
+
     def _apply_cocoa_fix(self, fix: Vec2) -> None:
         """Re-anchor the dead reckoner on a fresh RF fix."""
         reckoner = self._dead_reckoner

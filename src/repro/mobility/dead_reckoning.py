@@ -71,6 +71,23 @@ class DeadReckoning:
         self._updates += 1
         return self._position
 
+    def snapshot_state(self) -> dict:
+        """The reckoner's pose and odometer totals as a picklable mapping."""
+        return {
+            "x": self._position.x,
+            "y": self._position.y,
+            "heading": self._heading,
+            "distance_integrated": self._distance_integrated,
+            "updates": self._updates,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a :meth:`snapshot_state` mapping (bit-exact resume)."""
+        self._position = Vec2(state["x"], state["y"])
+        self._heading = state["heading"]
+        self._distance_integrated = state["distance_integrated"]
+        self._updates = int(state["updates"])
+
     def reset(self, position: Vec2, heading: float = None) -> None:
         """Re-anchor the estimate, e.g. after an RF localization fix.
 

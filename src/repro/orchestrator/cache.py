@@ -229,6 +229,22 @@ class ResultCache:
             return out
         return out
 
+    def remove(self, fingerprint: str) -> bool:
+        """Delete one entry (best effort); True if a file was removed.
+
+        Used by latest-wins payload schemes (serve checkpoints) whose
+        entries stop being meaningful — e.g. a tenant said ``bye`` and
+        its checkpoint must not re-hydrate a future session.
+        """
+        try:
+            os.remove(self.path_for(fingerprint))
+        except FileNotFoundError:
+            return False
+        except OSError:
+            self.stats.errors += 1
+            return False
+        return True
+
     # -- maintenance ---------------------------------------------------------
 
     def entries(self) -> List[ManifestEntry]:

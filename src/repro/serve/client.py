@@ -11,12 +11,31 @@ Two transports, one vocabulary:
   and the quick benchmark mode use.  Both clients expose the identical
   convenience surface, so a test written against one runs against the
   other.
+
+Error taxonomy — the two failure kinds demand opposite reactions:
+
+- :class:`TransportError` (a ``ConnectionError`` subclass): the
+  connection died and the reply's fate is unknown — **retryable**.  A
+  :class:`ServeClient` built with a :class:`RetryPolicy` reconnects and
+  retries these itself (capped exponential backoff, seeded jitter), and
+  auto-assigns a ``rid`` to every request so the server's reply cache
+  makes the retry idempotent (see :mod:`repro.serve.protocol`).
+- :class:`ServiceError`: the server *answered* with an error response
+  (``bad_request``, ``unknown_tenant``, ``overloaded``, ...) — **not
+  retryable** by blind repetition; the caller must change something.
+  Raised only by :func:`ensure_ok`; the ``request`` surface itself
+  still returns error responses, because load-shedding replies are an
+  expected outcome callers often want to count rather than catch.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Optional
+import itertools
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+import numpy as np
 
 from repro.serve.protocol import (
     ByeRequest,
@@ -34,7 +53,85 @@ from repro.serve.protocol import (
     parse_response,
 )
 
-__all__ = ["ServeClient", "InProcessClient"]
+__all__ = [
+    "TransportError",
+    "ServiceError",
+    "RetryPolicy",
+    "ensure_ok",
+    "ServeClient",
+    "InProcessClient",
+]
+
+
+class TransportError(ConnectionError):
+    """The connection failed; the request's fate is unknown (retryable)."""
+
+
+class ServiceError(RuntimeError):
+    """The server answered with an error response (not retryable).
+
+    Attributes:
+        tag: the machine-readable error tag (``bad_request``, ...).
+        response: the full error :class:`Response`.
+    """
+
+    def __init__(self, response: Response) -> None:
+        detail = response.payload.get("detail")
+        message = response.error or "error"
+        if detail:
+            message = "%s: %s" % (message, detail)
+        super().__init__(message)
+        self.tag = response.error
+        self.response = response
+
+
+def ensure_ok(response: Response) -> Response:
+    """Return the response, or raise :class:`ServiceError` if it failed."""
+    if not response.ok:
+        raise ServiceError(response)
+    return response
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Reconnect-and-retry behaviour for :class:`ServeClient`.
+
+    Backoff for attempt *k* (1-based) is ``base_delay_s * 2**(k-1)``
+    capped at ``max_delay_s``, plus a jitter drawn uniformly from
+    ``[0, jitter * delay]`` by a seeded generator — deterministic in
+    tests, yet de-synchronized across clients with distinct seeds (no
+    reconnect stampede after a server restart).
+
+    Attributes:
+        max_attempts: total tries per request (1 = no retry).
+        base_delay_s: backoff before the first retry.
+        max_delay_s: backoff cap.
+        jitter: jitter fraction of the capped delay.
+        seed: jitter stream seed.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise ValueError("delays must satisfy 0 <= base <= max")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay_s(self, attempt: int, rng: np.random.Generator) -> float:
+        """Backoff before retry ``attempt`` (1-based)."""
+        delay = min(
+            self.base_delay_s * (2.0 ** (attempt - 1)), self.max_delay_s
+        )
+        if self.jitter > 0:
+            delay += self.jitter * delay * float(rng.random())
+        return delay
 
 
 class _RequestSurface:
@@ -52,11 +149,12 @@ class _RequestSurface:
             WindowRequest(tenant=tenant, robot=robot, event="open", t=t)
         )
 
-    async def window_close(self, tenant: str, robot: int,
-                           t: float = 0.0) -> Response:
-        return await self.request(
-            WindowRequest(tenant=tenant, robot=robot, event="close", t=t)
-        )
+    async def window_close(self, tenant: str, robot: int, t: float = 0.0,
+                           expected: Optional[int] = None) -> Response:
+        return await self.request(WindowRequest(
+            tenant=tenant, robot=robot, event="close", t=t,
+            expected=expected,
+        ))
 
     async def observe(
         self,
@@ -100,23 +198,50 @@ class ServeClient(_RequestSurface):
     pipelined throughput use :meth:`send` to enqueue many requests and
     await the returned futures afterwards.
 
+    With a :class:`RetryPolicy`, :meth:`request` survives connection
+    loss: it reconnects (capped backoff, seeded jitter) and re-sends the
+    *same* request — including the rid the client stamped on it — so
+    the server's reply cache dedups a request whose first reply was
+    lost in flight.  Only :meth:`request` retries; :meth:`send` is the
+    raw pipelining surface and fails fast, because blindly re-sending
+    one request of a pipelined burst would reorder the stream.
+
     Args:
         host: server address.
         port: server port.
+        retry: reconnect/retry policy (None = fail fast).
+        sleep: awaitable sleep used for backoff (injectable so retry
+            tests never wait wall-clock time).
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Optional[Callable[[float], "asyncio.Future"]] = None,
+    ) -> None:
         self.host = host
         self.port = port
+        self._retry = retry
+        self._sleep = sleep if sleep is not None else asyncio.sleep
+        self._jitter_rng = np.random.default_rng(
+            retry.seed if retry is not None else 0
+        )
+        self._rids = itertools.count(1)
+        self.reconnects = 0
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._inflight: "asyncio.Queue" = asyncio.Queue()
         self._pump: Optional[asyncio.Task] = None
 
     async def connect(self) -> "ServeClient":
-        self._reader, self._writer = await asyncio.open_connection(
-            self.host, self.port
-        )
+        try:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        except OSError as exc:
+            raise TransportError("connect failed: %s" % exc) from exc
         self._pump = asyncio.get_running_loop().create_task(
             self._pump_responses()
         )
@@ -139,6 +264,17 @@ class ServeClient(_RequestSurface):
             except asyncio.CancelledError:
                 pass
 
+    def abort(self) -> None:
+        """Tear the connection down abruptly, mid-stream.
+
+        Simulates a network cut (the chaos harness's ``sever`` fault):
+        no FIN handshake, in-flight replies lost.  The next
+        :meth:`request` sees a :class:`TransportError` and — with a
+        retry policy — reconnects.
+        """
+        if self._writer is not None:
+            self._writer.transport.abort()
+
     async def __aenter__(self) -> "ServeClient":
         return await self.connect()
 
@@ -152,15 +288,47 @@ class ServeClient(_RequestSurface):
         per-connection ordering), which is what makes pipelining safe.
         """
         if self._writer is None:
-            raise ConnectionError("client is not connected")
+            raise TransportError("client is not connected")
         future = asyncio.get_running_loop().create_future()
         await self._inflight.put(future)
-        self._writer.write(encode_request(request).encode("utf-8") + b"\n")
-        await self._writer.drain()
+        try:
+            self._writer.write(
+                encode_request(request).encode("utf-8") + b"\n"
+            )
+            await self._writer.drain()
+        except (ConnectionError, RuntimeError) as exc:
+            raise TransportError("send failed: %s" % exc) from exc
         return future
 
+    def stamp_rid(self, request: Request) -> Request:
+        """Assign this client's next rid (no-op if one is set already).
+
+        Retrying callers stamp once and re-send the stamped request, so
+        every retry carries the same rid.
+        """
+        if getattr(request, "rid", "absent") is None:
+            return replace(request, rid=next(self._rids))
+        return request
+
     async def request(self, request: Request) -> Response:
-        return await (await self.send(request))
+        if self._retry is None:
+            return await (await self.send(request))
+        request = self.stamp_rid(request)
+        attempt = 1
+        while True:
+            try:
+                if self._writer is None:
+                    await self.connect()
+                return await (await self.send(request))
+            except TransportError:
+                if attempt >= self._retry.max_attempts:
+                    raise
+                await self.close()
+                self.reconnects += 1
+                await self._sleep(
+                    self._retry.delay_s(attempt, self._jitter_rng)
+                )
+                attempt += 1
 
     async def _pump_responses(self) -> None:
         assert self._reader is not None
@@ -180,13 +348,18 @@ class ServeClient(_RequestSurface):
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
-            self._fail_inflight(ConnectionError("connection closed"))
+            self._fail_inflight(TransportError("connection closed"))
 
     def _fail_inflight(self, exc: BaseException) -> None:
         while not self._inflight.empty():
             future = self._inflight.get_nowait()
             if not future.done():
                 future.set_exception(exc)
+                # Some of these futures were abandoned by a send() that
+                # raised before returning them; retrieve the exception
+                # now so their destruction never logs a warning.
+                # (Awaiting one afterwards still raises normally.)
+                future.exception()
 
 
 class InProcessClient(_RequestSurface):

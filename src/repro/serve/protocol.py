@@ -22,6 +22,17 @@ Request vocabulary (the ``op`` field):
 - ``bye`` — drop the tenant session explicitly.
 - ``ping`` — liveness/no-op.
 
+Idempotent retries: every tenant-scoped request may carry a client-
+assigned ``rid`` (a per-tenant monotonically increasing request id).
+The session keeps a small bounded reply cache of the *state-mutating*
+requests it has processed, keyed by rid; a replayed ``(tenant, rid)``
+pair — a retry after a dropped connection — returns the original reply
+without re-ingesting the observation or re-closing the window.  A
+``hello`` may carry a ``resume`` token (the session's checkpoint
+fingerprint, reported in every hello/checkpoint payload) to re-hydrate
+the session from its latest checkpoint after a crash or eviction; see
+:mod:`repro.serve.checkpoint`.
+
 A connection whose first bytes are ``GET `` is treated as a plain HTTP
 scrape instead (``/metrics`` serves the Prometheus exposition of the
 server's telemetry registry); see :mod:`repro.serve.server`.
@@ -78,17 +89,29 @@ class HelloRequest:
     grid_resolution_m: float = 2.0
     min_beacons_for_fix: int = 3
     lut: Optional[bool] = None
+    resume: Optional[str] = None
+    rid: Optional[int] = None
     op: str = field(default="hello", init=False)
 
 
 @dataclass(frozen=True)
 class WindowRequest:
-    """A robot's beacon round boundary: ``event`` is ``open``/``close``."""
+    """A robot's beacon round boundary: ``event`` is ``open``/``close``.
+
+    A close may carry ``expected`` — the number of observations the
+    client buffered for this window.  The session then refuses to close
+    (``window_incomplete``, no state change) unless its pending buffer
+    holds exactly that many, which is how a retrying client detects a
+    checkpoint restore that silently rolled back part of the window
+    mid-retry: re-send the unit until the count matches.
+    """
 
     tenant: str
     robot: int
     event: str
     t: float = 0.0
+    expected: Optional[int] = None
+    rid: Optional[int] = None
     op: str = field(default="window", init=False)
 
 
@@ -104,6 +127,7 @@ class ObserveRequest:
     rssi_dbm: float
     anchor_id: Optional[int] = None
     t: float = 0.0
+    rid: Optional[int] = None
     op: str = field(default="observe", init=False)
 
 
@@ -113,6 +137,7 @@ class FixRequest:
 
     tenant: str
     robot: int
+    rid: Optional[int] = None
     op: str = field(default="fix", init=False)
 
 
@@ -122,6 +147,7 @@ class ConfidenceRequest:
 
     tenant: str
     robot: int
+    rid: Optional[int] = None
     op: str = field(default="confidence", init=False)
 
 
@@ -130,6 +156,7 @@ class StatsRequest:
     """Query a tenant session's counters."""
 
     tenant: str
+    rid: Optional[int] = None
     op: str = field(default="stats", init=False)
 
 
@@ -138,6 +165,7 @@ class ByeRequest:
     """Drop the tenant session (frees its estimators immediately)."""
 
     tenant: str
+    rid: Optional[int] = None
     op: str = field(default="bye", init=False)
 
 
@@ -229,12 +257,16 @@ def _validate(request: Request) -> None:
         tenant = request.tenant
         if not isinstance(tenant, str) or not tenant or len(tenant) > 256:
             raise ProtocolError("tenant must be a non-empty string (<=256 chars)")
+        if request.rid is not None:
+            _check_int("rid", request.rid)
     if isinstance(request, WindowRequest):
         if request.event not in _WINDOW_EVENTS:
             raise ProtocolError(
                 "window event must be one of %r" % (_WINDOW_EVENTS,)
             )
         _check_int("robot", request.robot)
+        if request.expected is not None:
+            _check_int("expected", request.expected)
     if isinstance(request, ObserveRequest):
         _check_int("robot", request.robot)
         _check_int("seq", request.seq)
@@ -253,6 +285,14 @@ def _validate(request: Request) -> None:
             raise ProtocolError("area/grid dimensions must be positive")
         if request.min_beacons_for_fix < 1:
             raise ProtocolError("min_beacons_for_fix must be >= 1")
+        if request.resume is not None and (
+            not isinstance(request.resume, str)
+            or not request.resume
+            or len(request.resume) > 256
+        ):
+            raise ProtocolError(
+                "resume must be a non-empty string (<=256 chars)"
+            )
 
 
 def _check_int(name: str, value: Any) -> None:
@@ -264,8 +304,9 @@ def encode_request(request: Request) -> str:
     """One request as its wire line (no trailing newline)."""
     record = asdict(request)
     # Drop defaulted optionals to keep lines short on the hot path.
-    if record.get("anchor_id", 0) is None:
-        del record["anchor_id"]
+    for optional in ("anchor_id", "rid", "resume", "expected"):
+        if record.get(optional, 0) is None:
+            del record[optional]
     return json.dumps(record, sort_keys=True, separators=(",", ":"))
 
 

@@ -30,6 +30,7 @@ from typing import Any, Dict, List
 from repro.core.config import CoCoAConfig, LocalizationMode
 from repro.core.team import CoCoATeam
 from repro.kernels import resolve_kernels
+from repro.serve.client import ensure_ok
 
 __all__ = [
     "ReplayLog",
@@ -225,7 +226,10 @@ async def replay_log(
     or — when ``shuffle_rng`` (a ``numpy`` Generator) is given — in a
     random permutation of it, which exercises the session's
     sort-by-source-seq recovery.  Each returned dict mirrors the log's
-    ``close`` events: robot, window, fixed, x_hex/y_hex.
+    ``close`` events: robot, window, fixed, x_hex/y_hex.  A failed
+    request raises :class:`~repro.serve.client.ServiceError` (the gate
+    treats shedding as a failure — the replay harness never overloads a
+    healthy server).
 
     Args:
         client: :class:`~repro.serve.client.InProcessClient` or
@@ -234,7 +238,7 @@ async def replay_log(
         tenant: tenant name to replay under.
         shuffle_rng: optional seeded Generator for out-of-order delivery.
     """
-    hello = await client.hello(
+    ensure_ok(await client.hello(
         tenant,
         calibration_seed=log.calibration_seed,
         calibration_samples=log.calibration_samples,
@@ -242,20 +246,16 @@ async def replay_log(
         grid_resolution_m=log.grid_resolution_m,
         min_beacons_for_fix=log.min_beacons_for_fix,
         lut=log.lut,
-    )
-    if not hello.ok:
-        raise RuntimeError("hello failed: %s" % hello.error)
+    ))
     fixes: List[Dict[str, Any]] = []
     pending: Dict[int, List[Dict[str, Any]]] = {}
     for event in log.events:
         robot = event["robot"]
         kind = event["kind"]
         if kind == "open":
-            response = await client.window_open(
+            ensure_ok(await client.window_open(
                 tenant, robot, t=event.get("t", 0.0)
-            )
-            if not response.ok:
-                raise RuntimeError("window_open failed: %s" % response.error)
+            ))
             pending[robot] = []
         elif kind == "beacon":
             pending.setdefault(robot, []).append(event)
@@ -275,15 +275,11 @@ async def replay_log(
                     anchor_id=beacon.get("anchor_id"),
                     t=beacon.get("t", 0.0),
                 )
-                if not response.ok:
-                    raise RuntimeError(
-                        "observe failed: %s" % response.error
-                    )
-            response = await client.window_close(
-                tenant, robot, t=event.get("t", 0.0)
-            )
-            if not response.ok:
-                raise RuntimeError("window_close failed: %s" % response.error)
+                ensure_ok(response)
+            response = ensure_ok(await client.window_close(
+                tenant, robot, t=event.get("t", 0.0),
+                expected=len(beacons),
+            ))
             record = {
                 "robot": robot,
                 "window": event["window"],

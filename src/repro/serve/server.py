@@ -8,9 +8,10 @@ Two layers:
   thin shell around it.
 - :class:`LocalizationServer` owns the socket: newline-delimited JSON
   request/response streams (pipelining allowed, responses in request
-  order per connection) plus a plain-HTTP ``GET /metrics`` answering
-  with the Prometheus exposition of the registry — one port serves both
-  robots and scrapers.
+  order per connection) plus plain-HTTP ``GET /metrics`` (Prometheus
+  exposition), ``GET /healthz`` (process liveness) and ``GET /readyz``
+  (traffic readiness: started, not draining, every worker alive) — one
+  port serves robots, scrapers and orchestration probes.
 
 Backpressure stack, outermost first:
 
@@ -21,6 +22,14 @@ Backpressure stack, outermost first:
    ``tenant_overloaded`` rejections while its neighbours keep flowing;
 3. a saturated *shard* sheds everything beyond its bounded queue with
    constant-cost ``overloaded`` replies rather than queueing latency.
+
+Durability stack (``checkpointing`` on, the default): a
+:class:`~repro.serve.checkpoint.CheckpointStore` shared by every shard
+(persisted through the warm-start cache when one is given), one
+:class:`~repro.serve.supervisor.ShardSupervisor` per shard reviving
+dead workers and re-hydrating lost sessions, and a graceful
+:meth:`ServiceCore.drain` that refuses new work, finishes queued work
+and checkpoints every session before :meth:`ServiceCore.stop`.
 """
 
 from __future__ import annotations
@@ -38,12 +47,14 @@ from repro.serve.protocol import (
     error_response,
     parse_request,
 )
+from repro.serve.checkpoint import CheckpointStore
 from repro.serve.session import (
     CalibrationStore,
     SessionLimits,
     TenantSession,
 )
 from repro.serve.shard import Shard, shard_index_for
+from repro.serve.supervisor import ShardSupervisor
 from repro.telemetry.export import prometheus_text
 from repro.telemetry.registry import DURATION_EDGES_S, MetricsRegistry
 
@@ -69,6 +80,11 @@ class ServeConfig:
             beacon window.
         reply_queue_limit: per-connection response backlog before the
             reader pauses (slow-consumer backpressure).
+        checkpointing: checkpoint sessions on window close / eviction /
+            drain and re-hydrate them after crashes (see
+            :mod:`repro.serve.checkpoint`).  Off = the pre-durability
+            behaviour: a crash or eviction loses the session.
+        supervise: revive dead shard workers automatically.
     """
 
     host: str = "127.0.0.1"
@@ -81,6 +97,8 @@ class ServeConfig:
     max_robots_per_tenant: int = 256
     max_pending_observations: int = 1024
     reply_queue_limit: int = 128
+    checkpointing: bool = True
+    supervise: bool = True
 
     def __post_init__(self) -> None:
         if not 0 <= self.port <= 65535:
@@ -118,6 +136,14 @@ class ServiceCore:
         self.calibrations = CalibrationStore(
             warm_store=warm_store, registry=self.registry
         )
+        # Checkpoints share the warm-start cache's disk layer when one
+        # is given (distinct ``ckpt-`` prefix, typed loads), so a single
+        # --cache flag buys both calibration reuse and crash durability.
+        self.checkpoints: Optional[CheckpointStore] = (
+            CheckpointStore(cache=warm_store, registry=self.registry)
+            if self.config.checkpointing
+            else None
+        )
         self._limits = SessionLimits(
             max_robots=self.config.max_robots_per_tenant,
             max_pending_observations=self.config.max_pending_observations,
@@ -132,10 +158,21 @@ class ServiceCore:
                 sweep_interval_s=self.config.sweep_interval_s,
                 clock=self._clock,
                 registry=self.registry,
+                checkpoints=self.checkpoints,
             )
             for i in range(self.config.n_shards)
         ]
+        self.supervisors: List[ShardSupervisor] = [
+            ShardSupervisor(
+                shard,
+                n_shards=self.config.n_shards,
+                checkpoints=self.checkpoints,
+                registry=self.registry,
+            )
+            for shard in self.shards
+        ] if self.config.supervise else []
         self._started = False
+        self._draining = False
 
     def _build_session(self, hello) -> TenantSession:
         return TenantSession(
@@ -144,6 +181,7 @@ class ServiceCore:
             limits=self._limits,
             clock=self._clock,
             registry=self.registry,
+            checkpoints=self.checkpoints,
         )
 
     # -- lifecycle -----------------------------------------------------------
@@ -154,12 +192,52 @@ class ServiceCore:
             return
         for shard in self.shards:
             shard.start()
+        for supervisor in self.supervisors:
+            supervisor.arm()
         self._started = True
+        self._draining = False
+
+    async def drain(self) -> int:
+        """Graceful-stop prelude: shed new work, finish queued work,
+        checkpoint every session.  Returns total checkpoints written.
+
+        Safe to call more than once; :meth:`stop` still performs the
+        actual teardown.
+        """
+        self._draining = True
+        for supervisor in self.supervisors:
+            supervisor.disarm()
+        flushed = 0
+        for shard in self.shards:
+            flushed += await shard.drain()
+        self.registry.counter("serve_drains_total").inc()
+        return flushed
 
     async def stop(self) -> None:
+        for supervisor in self.supervisors:
+            supervisor.disarm()
         for shard in self.shards:
             await shard.stop()
         self._started = False
+
+    # -- health --------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def healthy(self) -> bool:
+        """Process liveness: the core object is intact (``/healthz``)."""
+        return True
+
+    def ready(self) -> bool:
+        """Traffic readiness: started, not draining, workers alive."""
+        if not self._started or self._draining:
+            return False
+        return all(
+            shard.worker_task is not None and not shard.worker_task.done()
+            for shard in self.shards
+        )
 
     # -- routing -------------------------------------------------------------
 
@@ -257,6 +335,16 @@ class LocalizationServer:
             self._server = None
         await self.core.stop()
 
+    async def drain(self) -> None:
+        """Graceful shutdown: close the listener (existing connections
+        finish their in-flight requests), flush checkpoints, stop."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.core.drain()
+        await self.core.stop()
+
     async def serve_forever(self) -> None:
         await self.start()
         assert self._server is not None
@@ -334,7 +422,14 @@ class LocalizationServer:
     # -- HTTP scrape ---------------------------------------------------------
 
     async def _serve_http(self, first_line: bytes, reader, writer) -> None:
-        """Answer one HTTP request (``GET /metrics``) and close."""
+        """Answer one HTTP request and close.
+
+        Routes: ``/metrics`` (Prometheus exposition), ``/healthz``
+        (liveness: 200 while the process can answer at all) and
+        ``/readyz`` (readiness: 200 only while started, not draining
+        and every shard worker is alive — 503 otherwise, which is how
+        an orchestrator parks traffic during drain or a revive).
+        """
         try:
             while True:  # drain the header block
                 header = await asyncio.wait_for(reader.readline(), timeout=2.0)
@@ -344,15 +439,28 @@ class LocalizationServer:
             return
         parts = first_line.decode("latin-1").split()
         path = parts[1] if len(parts) >= 2 else "/"
+        ctype = b"Content-Type: text/plain\r\n"
         if path in ("/metrics", "/metrics/"):
             self.core.registry.counter("serve_http_scrapes").inc()
             body = self.core.metrics_text().encode("utf-8")
             status = b"HTTP/1.1 200 OK\r\n"
             ctype = b"Content-Type: text/plain; version=0.0.4\r\n"
+        elif path in ("/healthz", "/healthz/"):
+            self.core.registry.counter("serve_health_probes").inc()
+            body = b"ok\n" if self.core.healthy() else b"unhealthy\n"
+            status = (b"HTTP/1.1 200 OK\r\n" if self.core.healthy()
+                      else b"HTTP/1.1 503 Service Unavailable\r\n")
+        elif path in ("/readyz", "/readyz/"):
+            self.core.registry.counter("serve_ready_probes").inc()
+            if self.core.ready():
+                body, status = b"ready\n", b"HTTP/1.1 200 OK\r\n"
+            else:
+                body = (b"draining\n" if self.core.draining
+                        else b"not ready\n")
+                status = b"HTTP/1.1 503 Service Unavailable\r\n"
         else:
-            body = b"only /metrics is served here\n"
+            body = b"paths served here: /metrics /healthz /readyz\n"
             status = b"HTTP/1.1 404 Not Found\r\n"
-            ctype = b"Content-Type: text/plain\r\n"
         try:
             writer.write(
                 status + ctype

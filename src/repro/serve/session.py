@@ -21,6 +21,20 @@ Determinism contract (regression-tested in ``tests/test_serve_replay.py``):
   the next window-open resets before any fix reads it, so dropping
   them is fix-equivalent (and keeps a session's memory bounded).
 
+Durability (regression-tested in ``tests/test_serve_durability.py``):
+a session given a :class:`~repro.serve.checkpoint.CheckpointStore`
+writes a full :meth:`TenantSession.snapshot` on every window close (and
+on eviction/drain via :meth:`TenantSession.checkpoint_now`), and a
+session re-built from one via :meth:`TenantSession.restore_from`
+continues bit-identically.  The rid **reply cache** makes client
+retries idempotent; it deliberately caches only *ok, state-mutating*
+replies (window opens/closes, and observes that actually buffered) —
+never errors and never no-op acks — so a whole-window retry with the
+original rids is safe against every crash interleaving: a replayed
+request that mutated state returns its original reply, and one that
+never executed (or whose effect a checkpoint restore rolled back, which
+also rolls back the cache) simply executes again.
+
 Calibration tables are a property of the radio hardware, not the
 tenant, and cost ~1 s to build at paper fidelity — so
 :class:`CalibrationStore` shares them across tenants in-process and
@@ -32,6 +46,7 @@ processes.
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.calibration import build_pdf_table
@@ -40,6 +55,7 @@ from repro.core.estimator import BeaconObservation, PositionEstimator
 from repro.core.pdf_table import PdfTable
 from repro.kernels import resolve_kernels
 from repro.net.phy import PathLossModel, ReceiverModel
+from repro.serve.checkpoint import SessionCheckpoint, checkpoint_fingerprint
 from repro.serve.protocol import (
     ConfidenceRequest,
     FixRequest,
@@ -71,19 +87,27 @@ class SessionLimits:
         max_pending_observations: buffered observations per robot per
             window; overflow is dropped and counted, never queued
             unboundedly.
+        reply_cache_size: cached ``(rid, reply)`` pairs kept for
+            idempotent retries; oldest entries fall out first.  It only
+            needs to cover one client's retry horizon (one in-flight
+            window), so it stays small.
     """
 
-    __slots__ = ("max_robots", "max_pending_observations")
+    __slots__ = ("max_robots", "max_pending_observations", "reply_cache_size")
 
     def __init__(
         self,
         max_robots: int = 256,
         max_pending_observations: int = 1024,
+        reply_cache_size: int = 256,
     ) -> None:
         if max_robots < 1 or max_pending_observations < 1:
             raise ValueError("session limits must be >= 1")
+        if reply_cache_size < 1:
+            raise ValueError("session limits must be >= 1")
         self.max_robots = max_robots
         self.max_pending_observations = max_pending_observations
+        self.reply_cache_size = reply_cache_size
 
 
 class _RobotLane:
@@ -110,6 +134,10 @@ class TenantSession:
         clock: monotonic time source for idle tracking (injectable so
             eviction tests never sleep).
         registry: telemetry registry for service-level counters.
+        checkpoints: optional
+            :class:`~repro.serve.checkpoint.CheckpointStore`; when
+            given, the session checkpoints itself on every window close
+            (and callers checkpoint it on eviction/drain).
     """
 
     def __init__(
@@ -119,6 +147,7 @@ class TenantSession:
         limits: Optional[SessionLimits] = None,
         clock: Optional[Callable[[], float]] = None,
         registry=NULL_REGISTRY,
+        checkpoints=None,
     ) -> None:
         self.tenant = hello.tenant
         self.hello = hello
@@ -126,8 +155,17 @@ class TenantSession:
         self._limits = limits if limits is not None else SessionLimits()
         self._clock = clock if clock is not None else _ZERO_CLOCK
         self._registry = registry
+        self._checkpoints = checkpoints
         self._area = Rect.square(hello.area_side_m)
         self._lanes: Dict[int, _RobotLane] = {}
+        #: robot -> its record in the last snapshot; lanes untouched
+        #: since then reuse it, so a checkpoint costs one estimator
+        #: snapshot (the lane the request mutated), not one per robot.
+        self._lane_records: Dict[int, Dict[str, object]] = {}
+        self._dirty_lanes: set = set()
+        #: rid -> reply, oldest first (idempotent-retry cache).
+        self._replies: "OrderedDict[int, Response]" = OrderedDict()
+        self.resume_token = checkpoint_fingerprint(hello)
         self.last_active = self._clock()
         # Session counters (also served by the ``stats`` op).
         self.observations = 0
@@ -136,6 +174,7 @@ class TenantSession:
         self.windows_opened = 0
         self.windows_closed = 0
         self.fixes = 0
+        self.replays_served = 0
 
     # -- state ---------------------------------------------------------------
 
@@ -165,8 +204,28 @@ class TenantSession:
     # -- request handling ----------------------------------------------------
 
     def handle(self, request) -> Response:
-        """Dispatch one already-validated request for this tenant."""
+        """Dispatch one already-validated request for this tenant.
+
+        A request whose ``rid`` is already in the reply cache is a
+        client retry of work this session has performed: the original
+        reply comes back verbatim and nothing is re-executed.
+        """
         self.last_active = self._clock()
+        rid = getattr(request, "rid", None)
+        if rid is not None:
+            cached = self._replies.get(rid)
+            if cached is not None:
+                self.replays_served += 1
+                self._registry.counter("serve_replays_served").inc()
+                return cached
+        response = self._dispatch(request)
+        if rid is not None and _mutated_state(request, response):
+            self._replies[rid] = response
+            while len(self._replies) > self._limits.reply_cache_size:
+                self._replies.popitem(last=False)
+        return response
+
+    def _dispatch(self, request) -> Response:
         if isinstance(request, ObserveRequest):
             return self._observe(request)
         if isinstance(request, WindowRequest):
@@ -182,7 +241,8 @@ class TenantSession:
         if isinstance(request, HelloRequest):
             # Re-hello on a live session: idempotent attach.
             return Response(ok=True, payload={"tenant": self.tenant,
-                                              "attached": True})
+                                              "attached": True,
+                                              "resume": self.resume_token})
         return error_response("bad_request", "unhandled op for session")
 
     def _window_open(self, request: WindowRequest) -> Response:
@@ -200,6 +260,7 @@ class TenantSession:
             lane.pending.clear()
         lane.window += 1
         lane.window_open = True
+        self._dirty_lanes.add(request.robot)
         lane.estimator.on_window_open()
         self.windows_opened += 1
         self._registry.counter("serve_windows_opened").inc()
@@ -217,6 +278,7 @@ class TenantSession:
             self.observations_dropped += 1
             self._registry.counter("serve_observations_dropped").inc()
             return error_response("pending_limit")
+        self._dirty_lanes.add(request.robot)
         lane.pending.append((
             request.seq,
             BeaconObservation(
@@ -235,8 +297,23 @@ class TenantSession:
         lane = self._lane_for(request.robot, create=False)
         if lane is None or not lane.window_open:
             return error_response("no_open_window")
+        if (request.expected is not None
+                and len(lane.pending) != request.expected):
+            # Completeness guard: a crash-and-rehydrate mid-retry can
+            # silently roll the pending buffer back to an older
+            # checkpoint *between* a client's observes.  Refusing to
+            # close (with no state change — this reply is never cached)
+            # turns that silent divergence into a retryable error; the
+            # client re-sends the window and already-buffered rids
+            # dedup through the reply cache.
+            return error_response(
+                "window_incomplete",
+                "close expected %d buffered observations, found %d"
+                % (request.expected, len(lane.pending)),
+            )
         estimator = lane.estimator
         fixes_before = estimator.fixes
+        self._dirty_lanes.add(request.robot)
         # Source order, not arrival order: this is the determinism hinge.
         lane.pending.sort(key=lambda item: item[0])
         for _seq, observation in lane.pending:
@@ -258,7 +335,17 @@ class TenantSession:
             self.fixes += 1
             self._registry.counter("serve_fixes_total").inc()
             payload.update(_fix_fields(estimator))
-        return Response(ok=True, payload=payload)
+        response = Response(ok=True, payload=payload)
+        if self._checkpoints is not None:
+            # Cache the reply *before* snapshotting so the checkpoint's
+            # reply cache covers this close: a client that retries it
+            # after a crash-and-restore gets this reply, not a re-close.
+            if request.rid is not None:
+                self._replies[request.rid] = response
+                while len(self._replies) > self._limits.reply_cache_size:
+                    self._replies.popitem(last=False)
+            self.checkpoint_now()
+        return response
 
     def _fix(self, request: FixRequest) -> Response:
         lane = self._lane_for(request.robot, create=False)
@@ -301,7 +388,156 @@ class TenantSession:
             "windows_opened": self.windows_opened,
             "windows_closed": self.windows_closed,
             "fixes": self.fixes,
+            "replays_served": self.replays_served,
         }
+
+    # -- checkpointing -------------------------------------------------------
+
+    def checkpoint_now(self) -> Optional[str]:
+        """Write a checkpoint if a store is attached; the resume token.
+
+        Called from :meth:`_window_close` (every close), from the shard
+        on TTL eviction, and from the server's graceful drain.  The
+        whole method is synchronous — it runs inside the shard worker's
+        single-owner ``handle`` slot, so a checkpoint can never observe
+        a half-applied window.
+        """
+        if self._checkpoints is None:
+            return None
+        self._checkpoints.save(self.snapshot())
+        return self.resume_token
+
+    def snapshot(self) -> SessionCheckpoint:
+        """The session's complete state, frozen at this request boundary."""
+        hello = self.hello
+        lanes = []
+        for robot in sorted(self._lanes):
+            record = self._lane_records.get(robot)
+            if record is None or robot in self._dirty_lanes:
+                # Only re-snapshot lanes a request touched since the
+                # last snapshot; everyone else's record is still exact
+                # (records are immutable once built — the estimator
+                # snapshot copies its arrays, and restore copies them
+                # back out — so sharing them across checkpoints is
+                # safe).
+                lane = self._lanes[robot]
+                record = {
+                    "robot": robot,
+                    "window": lane.window,
+                    "window_open": lane.window_open,
+                    "pending": [
+                        (seq, {
+                            "x": obs.x,
+                            "y": obs.y,
+                            "rssi_dbm": obs.rssi_dbm,
+                            "anchor_id": obs.anchor_id,
+                            "t": obs.t,
+                        })
+                        for seq, obs in lane.pending
+                    ],
+                    "estimator": lane.estimator.snapshot(),
+                }
+                self._lane_records[robot] = record
+            lanes.append(record)
+        self._dirty_lanes.clear()
+        return SessionCheckpoint(
+            fingerprint=self.resume_token,
+            tenant=self.tenant,
+            hello={
+                "calibration_seed": hello.calibration_seed,
+                "calibration_samples": hello.calibration_samples,
+                "area_side_m": hello.area_side_m,
+                "grid_resolution_m": hello.grid_resolution_m,
+                "min_beacons_for_fix": hello.min_beacons_for_fix,
+                "lut": hello.lut,
+            },
+            lanes=lanes,
+            counters={
+                "observations": self.observations,
+                "observations_dropped": self.observations_dropped,
+                "observations_out_of_window":
+                    self.observations_out_of_window,
+                "windows_opened": self.windows_opened,
+                "windows_closed": self.windows_closed,
+                "fixes": self.fixes,
+                "replays_served": self.replays_served,
+            },
+            replies=[
+                (rid, reply.ok, reply.error, dict(reply.payload))
+                for rid, reply in self._replies.items()
+            ],
+        )
+
+    def restore_from(self, checkpoint: SessionCheckpoint) -> None:
+        """Adopt a checkpoint's state (bit-exact resume).
+
+        The session must have been built from the same hello identity —
+        the estimator snapshots carry a grid-signature guard, so a
+        geometry mismatch raises instead of silently resampling.
+
+        Raises:
+            ValueError: the checkpoint belongs to a different tenant or
+                a different estimator geometry.
+        """
+        if checkpoint.tenant != self.tenant:
+            raise ValueError(
+                "checkpoint tenant %r does not match session %r"
+                % (checkpoint.tenant, self.tenant)
+            )
+        # Adopted state invalidates every cached lane record (restore
+        # may roll lanes back to states no cached record describes).
+        self._lane_records.clear()
+        self._dirty_lanes = set()
+        for record in checkpoint.lanes:
+            lane = self._lane_for(record["robot"], create=True)
+            if lane is None:
+                raise ValueError("checkpoint exceeds this session's "
+                                 "robot limit")
+            self._dirty_lanes.add(record["robot"])
+            lane.window = int(record["window"])
+            lane.window_open = bool(record["window_open"])
+            lane.pending = [
+                (seq, BeaconObservation(**fields))
+                for seq, fields in record["pending"]
+            ]
+            lane.estimator.restore(record["estimator"])
+        counters = checkpoint.counters
+        self.observations = int(counters["observations"])
+        self.observations_dropped = int(counters["observations_dropped"])
+        self.observations_out_of_window = int(
+            counters["observations_out_of_window"]
+        )
+        self.windows_opened = int(counters["windows_opened"])
+        self.windows_closed = int(counters["windows_closed"])
+        self.fixes = int(counters["fixes"])
+        self.replays_served = int(counters.get("replays_served", 0))
+        self._replies.clear()
+        for rid, ok, error, payload in checkpoint.replies:
+            self._replies[rid] = Response(
+                ok=ok, error=error, payload=payload
+            )
+        self._registry.counter("serve_sessions_restored").inc()
+
+
+def _mutated_state(request, response: Response) -> bool:
+    """Should this reply enter the idempotent-retry cache?
+
+    Only *ok, state-mutating* replies are cached.  Errors are never
+    cached (the client treats them as terminal, not retryable), and
+    neither are no-op acks: an observe that answered ``buffered: False``
+    changed nothing, and caching it would poison a later same-rid retry
+    of the whole window (the retry must re-ingest, not replay the
+    no-op).  Read-only ops (fix/confidence/stats) are cheap and
+    side-effect-free, so re-executing their retries is both safe and
+    fresher than any cache.
+    """
+    if not response.ok:
+        return False
+    if isinstance(request, WindowRequest):
+        return True
+    if isinstance(request, ObserveRequest):
+        return bool(response.payload.get("buffered"))
+    return False
 
 
 def _fix_fields(estimator: PositionEstimator) -> Dict[str, object]:

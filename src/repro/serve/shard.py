@@ -12,9 +12,18 @@ Each shard runs one asyncio worker task draining a **bounded** queue:
   degradation mode, not latency collapse);
 - a per-tenant in-flight cap sheds a single hot tenant *before* it can
   fill the shard queue and starve its neighbours (``tenant_overloaded``);
-- between requests the worker sweeps idle sessions against the
-  configured TTL, so abandoned tenants cannot hold estimator grids
-  forever.
+- a dedicated **sweeper task** periodically evicts sessions idle past
+  the TTL (idleness measured on the injectable clock), so abandoned
+  tenants cannot hold estimator grids forever — even on a shard that
+  never goes quiet between requests.
+
+Durability hooks: a shard given a
+:class:`~repro.serve.checkpoint.CheckpointStore` checkpoints sessions
+before evicting them, re-hydrates a session from its checkpoint when a
+``hello`` carries a ``resume`` token, and exposes
+:meth:`Shard.restore_session` / :meth:`Shard.restart_worker` for the
+:class:`~repro.serve.supervisor.ShardSupervisor` to rebuild state after
+a worker crash.
 
 Every queue transition is counted in the server's telemetry registry;
 ``/metrics`` makes the pressure visible while the service runs.
@@ -58,10 +67,14 @@ class Shard:
         tenant_inflight_limit: queued-request cap per tenant.
         session_ttl_s: idle seconds before a session is evicted
             (``0`` disables eviction).
-        sweep_interval_s: how long the worker waits for work before
-            running an eviction sweep.
-        clock: monotonic time source (injectable for tests).
+        sweep_interval_s: how often the sweeper task looks for idle
+            sessions to evict.
+        clock: monotonic time source for idle measurement (injectable
+            for tests — eviction tests advance it instead of sleeping).
         registry: telemetry registry for queue/eviction counters.
+        checkpoints: optional
+            :class:`~repro.serve.checkpoint.CheckpointStore` enabling
+            checkpoint-before-evict and resume-token re-hydration.
     """
 
     def __init__(
@@ -74,6 +87,7 @@ class Shard:
         sweep_interval_s: float = 1.0,
         clock: Optional[Callable[[], float]] = None,
         registry=NULL_REGISTRY,
+        checkpoints=None,
     ) -> None:
         if queue_limit < 1 or tenant_inflight_limit < 1:
             raise ValueError("queue limits must be >= 1")
@@ -87,10 +101,12 @@ class Shard:
         self._sweep_s = sweep_interval_s
         self._clock = clock if clock is not None else _zero_clock
         self._registry = registry
+        self._checkpoints = checkpoints
         self._queue: "asyncio.Queue" = asyncio.Queue(maxsize=queue_limit)
         self._inflight: Dict[str, int] = {}
         self.sessions: Dict[str, TenantSession] = {}
         self._worker: Optional[asyncio.Task] = None
+        self._sweeper: Optional[asyncio.Task] = None
         self._stopping = False
         self.processed = 0
         self.shed = 0
@@ -99,25 +115,72 @@ class Shard:
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:
-        """Spawn the worker task (idempotent)."""
+        """Spawn the worker and sweeper tasks (idempotent)."""
+        loop = asyncio.get_running_loop()
+        self._stopping = False
         if self._worker is None:
-            self._stopping = False
-            self._worker = asyncio.get_running_loop().create_task(self._run())
+            self._worker = loop.create_task(self._run())
+        if self._sweeper is None and self._ttl_s > 0:
+            self._sweeper = loop.create_task(self._sweep_loop())
+
+    @property
+    def worker_task(self) -> Optional[asyncio.Task]:
+        """The live worker task (the supervisor watches its death)."""
+        return self._worker
+
+    @property
+    def stopping(self) -> bool:
+        """True while an orderly stop/drain is in progress."""
+        return self._stopping
+
+    def restart_worker(self) -> asyncio.Task:
+        """Replace a dead worker task with a fresh one.
+
+        Called by the supervisor after an unexpected worker death; the
+        queue and the surviving sessions are untouched — re-hydration
+        of *lost* sessions is the supervisor's job.
+        """
+        self._worker = asyncio.get_running_loop().create_task(self._run())
+        return self._worker
 
     async def stop(self) -> None:
-        """Drain nothing further; cancel the worker and fail queued work."""
+        """Stop immediately: cancel the tasks and fail queued work."""
         self._stopping = True
         worker, self._worker = self._worker, None
-        if worker is not None:
-            worker.cancel()
-            try:
-                await worker
-            except asyncio.CancelledError:
-                pass
+        sweeper, self._sweeper = self._sweeper, None
+        for task in (worker, sweeper):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
         while not self._queue.empty():
             _request, future = self._queue.get_nowait()
             if not future.done():
                 future.set_result(error_response("shutting_down"))
+
+    async def drain(self) -> int:
+        """Graceful stop prelude: refuse new work, finish queued work,
+        checkpoint every session.  Returns the checkpoint count.
+
+        The shard keeps running (queries still answer) until
+        :meth:`stop`; callers sequence ``drain() → stop()``.
+        """
+        self._stopping = True
+        if self._worker is not None and not self._worker.done():
+            # Only wait on the backlog while a worker exists to drain
+            # it; with a dead worker the checkpoints are what matter.
+            await self._queue.join()
+        return self.checkpoint_all()
+
+    def checkpoint_all(self) -> int:
+        """Checkpoint every live session (eviction order: sorted)."""
+        count = 0
+        for tenant in sorted(self.sessions):
+            if self.sessions[tenant].checkpoint_now() is not None:
+                count += 1
+        return count
 
     # -- submission ----------------------------------------------------------
 
@@ -159,23 +222,36 @@ class Shard:
 
     async def _run(self) -> None:
         while True:
+            request, future = await self._queue.get()
+            # handle() is synchronous, so a cancellation (shutdown, or a
+            # chaos kill) can only land at the ``get`` await above — a
+            # request's session mutation and its checkpoint are atomic
+            # with respect to worker death.
             try:
-                request, future = await asyncio.wait_for(
-                    self._queue.get(), timeout=self._sweep_s
-                )
-            except asyncio.TimeoutError:
-                self.sweep_idle_sessions()
-                continue
-            tenant = getattr(request, "tenant", "")
-            remaining = self._inflight.get(tenant, 1) - 1
-            if remaining > 0:
-                self._inflight[tenant] = remaining
-            else:
-                self._inflight.pop(tenant, None)
-            response = self.handle(request)
-            if not future.done():
-                future.set_result(response)
-            self.processed += 1
+                tenant = getattr(request, "tenant", "")
+                remaining = self._inflight.get(tenant, 1) - 1
+                if remaining > 0:
+                    self._inflight[tenant] = remaining
+                else:
+                    self._inflight.pop(tenant, None)
+                response = self.handle(request)
+                if not future.done():
+                    future.set_result(response)
+                self.processed += 1
+            finally:
+                self._queue.task_done()
+
+    async def _sweep_loop(self) -> None:
+        """Periodic idle-session eviction, independent of request flow.
+
+        The *cadence* uses the event loop's timer (this is the service
+        edge, outside the simulation's virtual-time contract); the
+        *idleness measurement* inside :meth:`sweep_idle_sessions` uses
+        the injectable clock, so tests advance time without sleeping.
+        """
+        while True:
+            await asyncio.sleep(self._sweep_s)
+            self.sweep_idle_sessions()
 
     def handle(self, request: Request) -> Response:
         """Process one request synchronously (the worker's inner step).
@@ -199,31 +275,78 @@ class Shard:
             session = self.sessions.get(request.tenant)
             if session is None:
                 session = self._session_factory(request)
+                restored = False
+                if request.resume is not None:
+                    restored = self._try_resume(session, request.resume)
                 self.sessions[request.tenant] = session
                 self._registry.counter("serve_sessions_created").inc()
                 self._registry.gauge("serve_sessions_active").set_max(
                     len(self.sessions)
                 )
-                return Response(ok=True, payload={
+                payload = {
                     "tenant": request.tenant,
                     "attached": False,
                     "shard": self.index,
-                })
+                    "resume": session.resume_token,
+                }
+                if request.resume is not None:
+                    payload["restored"] = restored
+                return Response(ok=True, payload=payload)
             return session.handle(request)
         if isinstance(request, ByeRequest):
             session = self.sessions.pop(request.tenant, None)
             if session is None:
                 return error_response("unknown_tenant")
+            if self._checkpoints is not None:
+                # An explicit goodbye is a promise not to resume.
+                self._checkpoints.forget(request.tenant)
             return Response(ok=True, payload=session.stats())
         session = self.sessions.get(request.tenant)
         if session is None:
             return error_response("unknown_tenant")
         return session.handle(request)
 
+    def _try_resume(self, session: TenantSession, token: str) -> bool:
+        """Re-hydrate ``session`` from the checkpoint a hello named.
+
+        Best effort by design: an unknown token, a tenant mismatch or a
+        geometry mismatch leaves the fresh session as-is (the client
+        learns via ``restored: false`` and replays from its own log);
+        resume must never turn into a request error for a tenant whose
+        checkpoint simply aged out.
+        """
+        if self._checkpoints is None:
+            return False
+        checkpoint = self._checkpoints.load(token)
+        if checkpoint is None:
+            return False
+        try:
+            session.restore_from(checkpoint)
+        except ValueError:
+            self._registry.counter("serve_resume_rejected").inc()
+            return False
+        return True
+
+    def restore_session(self, checkpoint) -> TenantSession:
+        """Rebuild one tenant's session from its checkpoint (supervisor
+        re-hydration path after a worker crash lost the live objects)."""
+        session = self._session_factory(checkpoint.hello_request())
+        session.restore_from(checkpoint)
+        self.sessions[checkpoint.tenant] = session
+        self._registry.gauge("serve_sessions_active").set_max(
+            len(self.sessions)
+        )
+        return session
+
     # -- eviction ------------------------------------------------------------
 
     def sweep_idle_sessions(self) -> int:
-        """Evict sessions idle past the TTL; returns the eviction count."""
+        """Evict sessions idle past the TTL; returns the eviction count.
+
+        Sessions are checkpointed before they are dropped (when a store
+        is attached), so eviction is a memory-pressure decision, not
+        data loss — a later resume-token hello continues the session.
+        """
         if self._ttl_s <= 0 or not self.sessions:
             return 0
         now = self._clock()
@@ -233,6 +356,7 @@ class Shard:
             if session.idle_for(now) > self._ttl_s
         ]
         for tenant in expired:
+            self.sessions[tenant].checkpoint_now()
             del self.sessions[tenant]
             self.evicted += 1
             self._registry.counter("serve_sessions_evicted").inc()
