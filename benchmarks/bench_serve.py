@@ -14,16 +14,19 @@ that triggers the Bayes update) to receiving its response.  All tenants
 share one calibration identity, so the PDF table is built once and the
 measurement isolates the serving path, not calibration.
 
-The workload runs twice — once with session checkpointing on (the
-production default: every window close snapshots the session through
-the durability layer) and once with it off — so the report also states
-the checkpoint overhead as a fixes/sec ratio.
+The workload runs three times — checkpointing off (baseline),
+checkpointing on (the production default and the headline pass), and
+checkpointing on with request tracing forced to ``always`` — so the
+report states both the checkpoint overhead and the tracing overhead as
+fixes/sec ratios.  ``--trace-out`` additionally dumps the traced
+pass's spans as trace JSONL for ``repro trace``.
 
 Writes ``BENCH_serve.json`` (see ``--out``) with the scenario shape,
 sustained fixes/sec, p50/p90/p99 latency in milliseconds and the
-checkpointing-on/off comparison — the same file the CI ``serve-smoke``
-job uploads as an artifact.  The headline numbers are the
-checkpointing-on run (what a real deployment serves).
+checkpointing/tracing comparisons — the same file the CI
+``serve-smoke`` job uploads as an artifact.  The headline numbers are
+the checkpointing-on, tracing-off run (what a real deployment
+serves).
 """
 
 from __future__ import annotations
@@ -63,6 +66,9 @@ def parse_args(argv=None) -> argparse.Namespace:
                         help="CI shape: 8 tenants x 4 robots x 5 windows")
     parser.add_argument("--out", default="BENCH_serve.json",
                         help="report path (default BENCH_serve.json)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write the traced pass's spans as trace "
+                             "JSONL here (feed to 'repro trace')")
     args = parser.parse_args(argv)
     if args.quick:
         args.tenants = min(args.tenants, 8)
@@ -133,7 +139,8 @@ def _observe(tenant, robot, seq, x, y, rssi, t):
 
 
 async def _run_load(args: argparse.Namespace,
-                    checkpointing: bool) -> Dict[str, object]:
+                    checkpointing: bool,
+                    trace_mode: str = "off") -> Dict[str, object]:
     """One full workload pass; returns raw totals for that pass."""
     core = ServiceCore(ServeConfig(
         port=0,
@@ -141,6 +148,7 @@ async def _run_load(args: argparse.Namespace,
         queue_limit=max(256, args.tenants * args.robots * 4),
         tenant_inflight_limit=max(64, args.beacons * args.robots * 2),
         checkpointing=checkpointing,
+        trace_mode=trace_mode,
     ))
     server = LocalizationServer(core)
     await server.start()
@@ -164,6 +172,7 @@ async def _run_load(args: argparse.Namespace,
     ])
     wall_s = time.perf_counter() - started
     stats = core.stats()
+    trace_records = core.tracer.records()
     await server.stop()
     fixes = sum(t["fixes"] for t in totals)
     return {
@@ -173,14 +182,22 @@ async def _run_load(args: argparse.Namespace,
         "fixes_per_s": fixes / wall_s if wall_s else 0.0,
         "latencies_ms": latencies_ms,
         "stats": stats,
+        "trace_records": trace_records,
     }
 
 
 async def run_bench(args: argparse.Namespace) -> Dict[str, object]:
-    # Off first (the baseline), then on — the headline run, reported in
-    # full.  Each pass boots a fresh server, so neither warms the other.
+    # Baseline (no durability, no tracing), then the headline run
+    # (checkpointing on, tracing off), then the traced run (tracing
+    # forced to "always" — the worst case; the serving default samples).
+    # Each pass boots a fresh server, so no pass warms another.
     baseline = await _run_load(args, checkpointing=False)
     durable = await _run_load(args, checkpointing=True)
+    traced = await _run_load(args, checkpointing=True, trace_mode="always")
+    if args.trace_out is not None:
+        from repro.obs import write_trace_jsonl
+
+        write_trace_jsonl(args.trace_out, traced["trace_records"])
 
     latencies_ms = durable["latencies_ms"]
     stats = durable["stats"]
@@ -191,6 +208,11 @@ async def run_bench(args: argparse.Namespace) -> Dict[str, object]:
     if baseline["fixes_per_s"] > 0:
         overhead_pct = 100.0 * (
             1.0 - durable["fixes_per_s"] / baseline["fixes_per_s"]
+        )
+    trace_overhead_pct = 0.0
+    if durable["fixes_per_s"] > 0:
+        trace_overhead_pct = 100.0 * (
+            1.0 - traced["fixes_per_s"] / durable["fixes_per_s"]
         )
     quantiles = np.percentile(latencies_ms, [50.0, 90.0, 99.0])
     return {
@@ -230,6 +252,16 @@ async def run_bench(args: argparse.Namespace) -> Dict[str, object]:
             "overhead_pct": round(overhead_pct, 2),
             "checkpoints_saved": stats.get("serve_checkpoints_saved", 0.0),
         },
+        "tracing": {
+            "mode": "always",
+            "on_fixes_per_s": round(traced["fixes_per_s"], 2),
+            "off_fixes_per_s": round(durable["fixes_per_s"], 2),
+            "overhead_pct": round(trace_overhead_pct, 2),
+            "spans_recorded": len(traced["trace_records"]),
+            "traces_recorded": traced["stats"].get(
+                "obs_traces_recorded", 0.0
+            ),
+        },
         "service_metrics": {
             key: value for key, value in sorted(stats.items())
             if key.startswith("serve_")
@@ -264,6 +296,14 @@ def main(argv=None) -> int:
           % (durability["on_fixes_per_s"], durability["off_fixes_per_s"],
              durability["overhead_pct"],
              int(durability["checkpoints_saved"])))
+    tracing = report["tracing"]
+    print("  tracing (always): %.1f fixes/s on vs %.1f off "
+          "(%.1f%% overhead, %d spans / %d traces)"
+          % (tracing["on_fixes_per_s"], tracing["off_fixes_per_s"],
+             tracing["overhead_pct"], tracing["spans_recorded"],
+             int(tracing["traces_recorded"])))
+    if args.trace_out is not None:
+        print("  traced pass spans written to %s" % args.trace_out)
     print("  report written to %s" % args.out)
     if totals["fixes"] == 0:
         print("FAIL: benchmark produced no fixes")

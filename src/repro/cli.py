@@ -235,6 +235,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="start, run a 2-tenant round trip plus "
                             "/metrics, /healthz and /readyz scrapes "
                             "against itself, then exit")
+    serve.add_argument("--trace-mode",
+                       choices=["off", "sampled", "always"],
+                       default="sampled",
+                       help="request tracing: off, sampled (head-sample "
+                            "1-in-N plus slow requests) or always")
+    serve.add_argument("--trace-sample-every", type=_positive_int,
+                       default=128, metavar="N",
+                       help="head-sample one request in N (sampled mode)")
+    serve.add_argument("--trace-slow-ms", type=float, default=25.0,
+                       help="tail-sample requests slower than this "
+                            "(sampled mode)")
+    serve.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="write recorded spans as trace JSONL on "
+                            "shutdown (feed to 'repro trace')")
+    serve.add_argument("--trace-perfetto", metavar="PATH", default=None,
+                       help="write recorded spans as Perfetto/Chrome "
+                            "trace_event JSON on shutdown")
+    serve.add_argument("--ops-out", metavar="PATH", default=None,
+                       help="write the structured ops log (shard "
+                            "restarts, evictions, rehydrations) as "
+                            "JSONL on shutdown")
 
     chaos = sub.add_parser(
         "chaos",
@@ -269,6 +290,36 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--log", metavar="PATH", default=None,
                        help="write the chaos journal (JSONL) here; with "
                             "multiple seeds, the seed is appended")
+    chaos.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="write the run's recorded spans as trace "
+                            "JSONL; with multiple seeds, the seed is "
+                            "appended")
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect a recorded trace JSONL (from serve --trace-out, "
+             "bench_serve.py or repro chaos --trace-out)",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="per-hop latency attribution table (queue wait, shard "
+             "service, estimator ingest, checkpoint)",
+    )
+    summarize.add_argument("path", help="trace JSONL file")
+    slowest = trace_sub.add_parser(
+        "slowest", help="the N slowest requests with per-hop breakdown"
+    )
+    slowest.add_argument("path", help="trace JSONL file")
+    slowest.add_argument("-n", type=_positive_int, default=10,
+                         help="how many traces to show")
+    export = trace_sub.add_parser(
+        "export", help="convert trace JSONL to Perfetto/Chrome "
+                       "trace_event JSON (load in ui.perfetto.dev)"
+    )
+    export.add_argument("path", help="trace JSONL file")
+    export.add_argument("--out", required=True,
+                        help="Perfetto JSON output path")
 
     calibrate = sub.add_parser(
         "calibrate", help="run the offline calibration and print the table"
@@ -702,13 +753,17 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
             session_ttl_s=args.session_ttl,
             checkpointing=not args.no_checkpointing,
             supervise=not args.no_supervise,
+            trace_mode=args.trace_mode,
+            trace_sample_every=args.trace_sample_every,
+            trace_slow_ms=args.trace_slow_ms,
         )
     except ValueError as exc:
         print("serve: %s" % exc, file=out)
         return 2
 
     async def _run() -> int:
-        server = LocalizationServer(ServiceCore(config, warm_store=warm_store))
+        core = ServiceCore(config, warm_store=warm_store)
+        server = LocalizationServer(core)
         try:
             await server.start()
         except OSError as exc:
@@ -726,6 +781,7 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
         if args.smoke:
             code = await _serve_smoke(server, out)
             await server.drain()
+            _export_traces(core, args, out)
             return code
         try:
             await server.serve_forever()
@@ -734,6 +790,7 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
         finally:
             # Graceful drain: shed new work, flush checkpoints, stop.
             await server.drain()
+            _export_traces(core, args, out)
         return 0
 
     try:
@@ -741,6 +798,63 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
     except KeyboardInterrupt:
         print("interrupted", file=out)
         return 0
+
+
+def _export_traces(core, args, out) -> None:
+    """Write the core's recorded spans/ops to the paths the flags named."""
+    trace_out = getattr(args, "trace_out", None)
+    perfetto_out = getattr(args, "trace_perfetto", None)
+    ops_out = getattr(args, "ops_out", None)
+    if trace_out is None and perfetto_out is None and ops_out is None:
+        return
+    from repro.obs import write_perfetto_json, write_trace_jsonl
+
+    records = core.tracer.records()
+    if trace_out is not None:
+        count = write_trace_jsonl(trace_out, records)
+        print("trace: %d span%s -> %s"
+              % (count, "" if count == 1 else "s", trace_out), file=out)
+    if perfetto_out is not None:
+        count = write_perfetto_json(perfetto_out, records)
+        print("trace: %d event%s -> %s (Perfetto)"
+              % (count, "" if count == 1 else "s", perfetto_out),
+              file=out)
+    if ops_out is not None:
+        count = core.ops.write_jsonl(ops_out)
+        print("ops: %d event%s -> %s"
+              % (count, "" if count == 1 else "s", ops_out), file=out)
+
+
+def cmd_trace(args: argparse.Namespace, out) -> int:
+    from repro.obs import (
+        read_trace_jsonl,
+        render_slowest,
+        render_summary,
+        write_perfetto_json,
+    )
+
+    try:
+        records = read_trace_jsonl(args.path)
+    except OSError as exc:
+        print("trace: cannot read %s: %s" % (args.path, exc), file=out)
+        return 2
+    except ValueError as exc:
+        print("trace: %s is not trace JSONL: %s" % (args.path, exc),
+              file=out)
+        return 2
+    if args.trace_command == "summarize":
+        print(render_summary(records), file=out)
+        return 0
+    if args.trace_command == "slowest":
+        print(render_slowest(records, n=args.n), file=out)
+        return 0
+    if args.trace_command == "export":
+        count = write_perfetto_json(args.out, records)
+        print("wrote %d event%s to %s"
+              % (count, "" if count == 1 else "s", args.out), file=out)
+        return 0
+    print("trace: unknown subcommand %r" % args.trace_command, file=out)
+    return 2
 
 
 def cmd_chaos(args: argparse.Namespace, out) -> int:
@@ -789,8 +903,13 @@ def cmd_chaos(args: argparse.Namespace, out) -> int:
         if args.log is not None:
             log_path = (args.log if len(seeds) == 1
                         else "%s.seed%d" % (args.log, seed))
+        trace_path = None
+        if args.trace_out is not None:
+            trace_path = (args.trace_out if len(seeds) == 1
+                          else "%s.seed%d" % (args.trace_out, seed))
         report = asyncio.run(run_chaos(
-            log, schedule, chaos_log_path=log_path
+            log, schedule, chaos_log_path=log_path,
+            trace_log_path=trace_path,
         ))
         print(report.summary(), file=out)
         for problem in report.problems[:10]:
@@ -798,8 +917,22 @@ def cmd_chaos(args: argparse.Namespace, out) -> int:
         if len(report.problems) > 10:
             print("  ... and %d more" % (len(report.problems) - 10),
                   file=out)
+        if report.divergent_trace is not None:
+            # Forensics: the first diverging fix's end-to-end timeline.
+            print("  first divergent fix: trace %s"
+                  % report.divergent_trace, file=out)
+            for span in report.divergent_spans:
+                duration_ms = (
+                    (span["end_s"] - span["start_s"]) * 1e3
+                    if span.get("end_s") is not None else 0.0
+                )
+                print("    %-18s %8.3f ms  %s"
+                      % (span["name"], duration_ms, span.get("attrs") or ""),
+                      file=out)
         if log_path is not None:
             print("  journal: %s" % log_path, file=out)
+        if trace_path is not None:
+            print("  traces: %s" % trace_path, file=out)
         if not report.ok:
             failures += 1
     if failures:
@@ -914,6 +1047,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return cmd_serve(args, out)
     if args.command == "chaos":
         return cmd_chaos(args, out)
+    if args.command == "trace":
+        return cmd_trace(args, out)
     if args.command == "calibrate":
         return cmd_calibrate(args, out)
     parser.error("unknown command %r" % args.command)

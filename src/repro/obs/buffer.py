@@ -1,0 +1,58 @@
+"""Bounded span buffer.
+
+Finished, sampled-in spans land here.  The buffer is a ring: when
+capacity is reached the oldest spans are evicted first, so a
+long-running service keeps the most recent window of traces and the
+memory bound is hard.  Eviction can split a trace (its earliest spans
+fall out first) — consumers treat a trace with no root span as
+truncated rather than erroring.
+
+The serve stack is single-loop asyncio, so no locking is needed; the
+structure is "lock-free" by confinement, not by atomics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator, List
+
+__all__ = ["SpanBuffer"]
+
+
+class SpanBuffer:
+    """Bounded FIFO of finished spans with an eviction counter."""
+
+    __slots__ = ("_spans", "dropped")
+
+    def __init__(self, max_spans: int) -> None:
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        self._spans = deque(maxlen=max_spans)
+        self.dropped = 0
+
+    @property
+    def max_spans(self) -> int:
+        return self._spans.maxlen
+
+    def append(self, span) -> None:
+        if len(self._spans) == self._spans.maxlen:
+            self.dropped += 1
+        self._spans.append(span)
+
+    def extend(self, spans: Iterable) -> None:
+        for span in spans:
+            self.append(span)
+
+    def clear(self) -> None:
+        self._spans.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._spans)
+
+    def snapshot(self) -> List:
+        """The buffered spans, oldest first, as a plain list."""
+        return list(self._spans)

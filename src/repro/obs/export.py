@@ -1,0 +1,114 @@
+"""Trace exporters: JSONL round-trip and Perfetto ``trace_event`` JSON.
+
+Two formats, two audiences:
+
+- **Trace JSONL** is the machine format — one span record per line,
+  written at capture time and re-read by ``repro trace summarize`` /
+  ``slowest`` / ``export``.  Lines are exactly
+  :meth:`~repro.obs.trace.WallSpan.as_record` dicts.
+- **Perfetto JSON** is the human format — the Chrome/Perfetto
+  ``trace_event`` schema (``{"traceEvents": [...]}`` with complete
+  ``"ph": "X"`` events, microsecond timestamps), loadable in
+  ``ui.perfetto.dev`` or ``chrome://tracing``.  Traces render as tracks
+  (one ``tid`` per trace id) so the queue-wait / service-time split is
+  visible per request.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+__all__ = [
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "perfetto_trace_events",
+    "write_perfetto_json",
+]
+
+
+def write_trace_jsonl(path, records: Iterable[Dict[str, Any]]) -> int:
+    """Write span records one-per-line; returns the line count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_trace_jsonl(path) -> List[Dict[str, Any]]:
+    """Read span records back (blank lines tolerated)."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def perfetto_trace_events(
+    records: Iterable[Dict[str, Any]],
+    process_name: str = "repro.serve",
+) -> Dict[str, Any]:
+    """Span records → a Chrome/Perfetto ``trace_event`` document.
+
+    Each span becomes one complete event (``"ph": "X"``); each trace id
+    gets its own ``tid`` track so concurrent requests stack instead of
+    overlapping.  Open spans (truncated by buffer eviction) are skipped.
+    """
+    events: List[Dict[str, Any]] = []
+    tids: Dict[str, int] = {}
+    for record in records:
+        end_s = record.get("end_s")
+        if end_s is None:
+            continue
+        trace_id = record["trace"]
+        tid = tids.setdefault(trace_id, len(tids) + 1)
+        start_us = record["start_s"] * 1e6
+        args = dict(record.get("attrs") or {})
+        args["trace"] = trace_id
+        args["span"] = record["span"]
+        if record.get("parent") is not None:
+            args["parent"] = record["parent"]
+        events.append({
+            "name": record["name"],
+            "ph": "X",
+            "ts": start_us,
+            "dur": max(0.0, end_s * 1e6 - start_us),
+            "pid": 1,
+            "tid": tid,
+            "cat": "serve",
+            "args": args,
+        })
+    # Metadata events name the process and label each trace's track.
+    metadata: List[Dict[str, Any]] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": 1,
+        "tid": 0,
+        "args": {"name": process_name},
+    }]
+    for trace_id, tid in tids.items():
+        metadata.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": "trace %s" % trace_id},
+        })
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def write_perfetto_json(
+    path,
+    records: Iterable[Dict[str, Any]],
+    process_name: str = "repro.serve",
+) -> int:
+    """Write the Perfetto document; returns the non-metadata event count."""
+    document = perfetto_trace_events(records, process_name=process_name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True)
+        handle.write("\n")
+    return sum(1 for event in document["traceEvents"] if event["ph"] == "X")

@@ -1,0 +1,114 @@
+"""Structured ops event log.
+
+Operational state changes — supervisor restarts, session rehydrations,
+idle evictions, shed decisions — are invisible to per-request spans:
+they happen *between* requests or *to* many requests at once.  The
+:class:`OpsLog` records them as flat, JSON-serializable events stamped
+with whatever correlation ids are known at the emit site (``trace``,
+``rid``, ``tenant``, ``shard``), so an operator can pivot from a slow
+trace to the restart that explains it.
+
+Timestamps reuse the tracer's relative clock, putting ops events and
+spans on one timeline.  Like the span buffer, the log is bounded and
+loop-confined.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["OpsEvent", "OpsLog"]
+
+
+class OpsEvent:
+    """One operational event: a kind, a relative timestamp, and fields."""
+
+    __slots__ = ("kind", "at_s", "fields")
+
+    def __init__(self, kind: str, at_s: float, fields: Dict[str, Any]) -> None:
+        self.kind = kind
+        self.at_s = at_s
+        self.fields = fields
+
+    def as_record(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {"kind": self.kind, "at_s": self.at_s}
+        record.update(self.fields)
+        return record
+
+    def __repr__(self) -> str:
+        return "OpsEvent(%s @%.6fs %r)" % (self.kind, self.at_s, self.fields)
+
+
+class OpsLog:
+    """Bounded structured event log sharing the tracer's clock."""
+
+    __slots__ = ("_events", "_clock", "dropped")
+
+    def __init__(
+        self,
+        max_events: int = 10_000,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self._events = deque(maxlen=max_events)
+        self._clock = clock if clock is not None else time.perf_counter
+        self.dropped = 0
+
+    def emit(self, kind: str, **fields: Any) -> OpsEvent:
+        """Record one event; ``None``-valued fields are dropped so emit
+        sites can pass correlation ids unconditionally."""
+        event = OpsEvent(
+            kind,
+            self._clock(),
+            {key: value for key, value in fields.items() if value is not None},
+        )
+        if len(self._events) == self._events.maxlen:
+            self.dropped += 1
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[OpsEvent]:
+        return iter(self._events)
+
+    def records(self) -> List[Dict[str, Any]]:
+        return [event.as_record() for event in self._events]
+
+    def write_jsonl(self, path) -> int:
+        """Append-free JSONL dump; returns the number of lines written."""
+        records = self.records()
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return len(records)
+
+
+class _NullOpsLog:
+    """No-op ops log for cores constructed without observability."""
+
+    dropped = 0
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self):
+        return iter(())
+
+    def records(self) -> List[Dict[str, Any]]:
+        return []
+
+    def write_jsonl(self, path) -> int:
+        return 0
+
+
+#: Shared no-op instance (mirrors NULL_REGISTRY / NULL_TRACER).
+NULL_OPS_LOG = _NullOpsLog()

@@ -1,0 +1,361 @@
+"""Wall-clock request tracing: ids, spans, head/tail sampling.
+
+A **trace** is one request's journey through the serving stack.  The
+trace id is minted at the client (or at the server's TCP edge for raw
+peers that did not stamp one), travels in the optional ``trace`` field
+of the NDJSON protocol, and is echoed on the reply line so a client can
+correlate the retries of a request whose first reply was lost.
+
+Inside the server each traced request accumulates parent-linked
+:class:`WallSpan` records — ``request`` (the root, submit to reply),
+``queue`` (shard queue wait), ``shard_service`` (the worker's handling
+slot), ``estimator_ingest`` (applying a window's observations) and
+``checkpoint`` (the durability write) — giving queue-wait vs.
+service-time attribution per hop.  Timestamps come from an injectable
+*relative* clock (``time.perf_counter`` by default): REP002 bans
+absolute wall timestamps everywhere, and bans even relative timers in
+the sim packages, which is exactly why this module lives in
+``repro.obs`` and is threaded only through the serve layer.
+
+Sampling keeps the always-on cost bounded:
+
+- ``mode="always"`` keeps every trace (benchmarks, chaos forensics);
+- ``mode="sampled"`` (the serving default) head-samples one request in
+  ``head_sample_every`` *and* tail-keeps any request slower than
+  ``slow_ms`` — the slow outliers are precisely the traces worth
+  keeping, and the head sample keeps the baseline shape visible;
+- ``mode="off"`` makes every hook a cheap ``None`` check.
+
+The tracer is loop-confined like everything else in the serve stack
+(one asyncio loop owns it), so the span buffer needs no locks; see
+:class:`~repro.obs.buffer.SpanBuffer`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.buffer import SpanBuffer
+from repro.telemetry.registry import NULL_REGISTRY
+
+__all__ = [
+    "TraceConfig",
+    "WallSpan",
+    "ActiveTrace",
+    "RequestTracer",
+    "NULL_TRACER",
+    "TRACE_MODES",
+]
+
+TRACE_MODES = ("off", "sampled", "always")
+
+#: Maximum accepted length of a wire ``trace`` field (protocol guard).
+MAX_TRACE_ID_CHARS = 128
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Tracing knobs.
+
+    Attributes:
+        mode: ``off`` / ``sampled`` / ``always``.
+        head_sample_every: in ``sampled`` mode, keep one request in N
+            regardless of latency (N=1 keeps everything).
+        slow_ms: in ``sampled`` mode, also keep any request whose total
+            latency reaches this many milliseconds (tail sampling);
+            0 keeps everything.
+        max_spans: bounded span-buffer capacity (oldest evicted first).
+    """
+
+    mode: str = "sampled"
+    head_sample_every: int = 128
+    slow_ms: float = 25.0
+    max_spans: int = 50_000
+
+    def __post_init__(self) -> None:
+        if self.mode not in TRACE_MODES:
+            raise ValueError(
+                "trace mode must be one of %r, got %r" % (TRACE_MODES, self.mode)
+            )
+        if self.head_sample_every < 1:
+            raise ValueError("head_sample_every must be >= 1")
+        if self.slow_ms < 0:
+            raise ValueError("slow_ms must be >= 0")
+        if self.max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+
+
+class WallSpan:
+    """One named wall-clock interval inside a trace.
+
+    ``start_s`` / ``end_s`` are offsets on the tracer's relative clock
+    (a shared process origin), so spans from one process compose into
+    one timeline; they are *not* absolute timestamps.
+    """
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name",
+                 "start_s", "end_s", "attrs")
+
+    def __init__(
+        self,
+        trace_id: str,
+        span_id: int,
+        name: str,
+        start_s: float,
+        parent_id: Optional[int] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start_s = start_s
+        self.end_s: Optional[float] = None
+        self.attrs = attrs if attrs is not None else {}
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def as_record(self) -> Dict[str, Any]:
+        """JSON-serializable form (the trace-JSONL line)."""
+        return {
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:
+        return "WallSpan(%s#%d %s %.6fs)" % (
+            self.trace_id, self.span_id, self.name, self.duration_s,
+        )
+
+
+class ActiveTrace:
+    """One in-flight request's span accumulation.
+
+    Spans collect in a small private list first; only
+    :meth:`RequestTracer.finish` — where the sampling decision is made
+    — moves them into the shared buffer.  A sampled-out request
+    therefore costs a handful of small allocations and nothing else.
+    """
+
+    __slots__ = ("trace_id", "keep_head", "root", "queue_span",
+                 "_spans", "_ids", "_clock")
+
+    def __init__(
+        self,
+        trace_id: str,
+        clock: Callable[[], float],
+        keep_head: bool,
+        op: str,
+        tenant: str,
+        rid: Optional[int],
+    ) -> None:
+        self.trace_id = trace_id
+        self._clock = clock
+        self.keep_head = keep_head
+        self._ids = itertools.count(1)
+        self._spans: List[WallSpan] = []
+        attrs: Dict[str, Any] = {"op": op, "tenant": tenant}
+        if rid is not None:
+            attrs["rid"] = rid
+        self.root = self._open("request", parent_id=None, attrs=attrs)
+        self.queue_span: Optional[WallSpan] = self._open(
+            "queue", parent_id=self.root.span_id, attrs=None
+        )
+
+    def _open(self, name, parent_id, attrs) -> WallSpan:
+        span = WallSpan(
+            self.trace_id, next(self._ids), name, self._clock(),
+            parent_id=parent_id, attrs=attrs,
+        )
+        self._spans.append(span)
+        return span
+
+    # -- hop recording -------------------------------------------------------
+
+    def open_span(self, name: str, **attrs: Any) -> WallSpan:
+        """Open a child span of the request root at *now*."""
+        return self._open(name, parent_id=self.root.span_id,
+                          attrs=attrs or None)
+
+    def close_span(self, span: Optional[WallSpan]) -> None:
+        """Close ``span`` at *now* (no-op for ``None`` / already closed)."""
+        if span is not None and span.end_s is None:
+            span.end_s = self._clock()
+
+    def dequeued(self) -> Optional[WallSpan]:
+        """Mark the shard worker picking this request up: the queue span
+        closes and the ``shard_service`` span opens.  Returns the
+        service span (the worker closes it after handling)."""
+        self.close_span(self.queue_span)
+        return self.open_span("shard_service")
+
+    class _Hop:
+        __slots__ = ("_trace", "_span")
+
+        def __init__(self, trace: "ActiveTrace", span: WallSpan) -> None:
+            self._trace = trace
+            self._span = span
+
+        def __enter__(self) -> WallSpan:
+            return self._span
+
+        def __exit__(self, *exc_info) -> None:
+            self._trace.close_span(self._span)
+
+    def hop(self, name: str, **attrs: Any) -> "ActiveTrace._Hop":
+        """Context manager recording one synchronous hop."""
+        return self._Hop(self, self.open_span(name, **attrs))
+
+    # -- completion ----------------------------------------------------------
+
+    def seal(self, error: Optional[str]) -> float:
+        """Close the root (and any span left open) at *now*; returns the
+        request's total wall duration in seconds."""
+        now = self._clock()
+        for span in self._spans:
+            if span.end_s is None:
+                span.end_s = now
+        if error is not None:
+            self.root.attrs["error"] = error
+        return self.root.end_s - self.root.start_s
+
+    @property
+    def spans(self) -> List[WallSpan]:
+        return self._spans
+
+
+class RequestTracer:
+    """Mints trace ids, accumulates request spans, samples, buffers.
+
+    Args:
+        config: sampling knobs (:class:`TraceConfig`).
+        clock: relative wall clock (injectable so tests never sleep).
+        registry: telemetry registry for trace accounting counters.
+        id_entropy: hex prefix distinguishing this process's minted ids
+            (defaults to 4 random bytes; injectable for deterministic
+            test output).
+    """
+
+    def __init__(
+        self,
+        config: Optional[TraceConfig] = None,
+        clock: Optional[Callable[[], float]] = None,
+        registry=NULL_REGISTRY,
+        id_entropy: Optional[str] = None,
+    ) -> None:
+        self.config = config if config is not None else TraceConfig()
+        self._clock = clock if clock is not None else time.perf_counter
+        self._registry = registry
+        if id_entropy is None:
+            id_entropy = os.urandom(4).hex()
+        self._id_prefix = id_entropy
+        self._ids = itertools.count(1)
+        self._head_countdown = 0
+        self.buffer = SpanBuffer(max_spans=self.config.max_spans)
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.mode != "off"
+
+    def mint(self) -> str:
+        """A fresh trace id (server-edge minting for raw TCP peers)."""
+        return "%s-%06x" % (self._id_prefix, next(self._ids))
+
+    # -- request lifecycle ---------------------------------------------------
+
+    def begin(self, request) -> Optional[ActiveTrace]:
+        """Start tracing one request; ``None`` when tracing is off.
+
+        Adopts the request's ``trace`` field when the client stamped
+        one, mints otherwise.  The head-sampling decision is made here
+        (cheap, before any work); the tail decision waits for the
+        latency measured at :meth:`finish`.
+        """
+        if self.config.mode == "off":
+            return None
+        trace_id = getattr(request, "trace", None)
+        if trace_id is None:
+            trace_id = self.mint()
+        if self.config.mode == "always":
+            keep_head = True
+        else:
+            self._head_countdown -= 1
+            keep_head = self._head_countdown <= 0
+            if keep_head:
+                self._head_countdown = self.config.head_sample_every
+        return ActiveTrace(
+            trace_id,
+            clock=self._clock,
+            keep_head=keep_head,
+            op=getattr(request, "op", "?"),
+            tenant=getattr(request, "tenant", ""),
+            rid=getattr(request, "rid", None),
+        )
+
+    def finish(self, active: ActiveTrace, response) -> None:
+        """Seal the request's spans and apply the keep/drop decision."""
+        error = None
+        if response is not None and not getattr(response, "ok", True):
+            error = getattr(response, "error", None)
+        duration_s = active.seal(error)
+        slow = duration_s * 1000.0 >= self.config.slow_ms
+        if not (active.keep_head or slow):
+            self._registry.counter("obs_traces_sampled_out").inc()
+            return
+        if slow and not active.keep_head:
+            self._registry.counter("obs_traces_tail_kept").inc()
+        self._registry.counter("obs_traces_recorded").inc()
+        self.buffer.extend(active.spans)
+
+    # -- draining ------------------------------------------------------------
+
+    def records(self) -> List[Dict[str, Any]]:
+        """Every buffered span as a JSON-serializable record."""
+        return [span.as_record() for span in self.buffer]
+
+    def spans_for(self, trace_id: str) -> List[Dict[str, Any]]:
+        """The buffered spans of one trace (forensics: chaos divergence)."""
+        return [
+            span.as_record() for span in self.buffer
+            if span.trace_id == trace_id
+        ]
+
+
+class _NullTracer:
+    """Disabled-tracing shim sharing :class:`RequestTracer`'s surface."""
+
+    enabled = False
+    config = TraceConfig(mode="off")
+    buffer = SpanBuffer(max_spans=1)
+
+    def mint(self) -> str:  # pragma: no cover - never sensible when off
+        return "off"
+
+    def begin(self, request) -> None:
+        return None
+
+    def finish(self, active, response) -> None:
+        pass
+
+    def records(self) -> List[Dict[str, Any]]:
+        return []
+
+    def spans_for(self, trace_id: str) -> List[Dict[str, Any]]:
+        return []
+
+
+#: Shared no-op tracer for code paths constructed without tracing.
+NULL_TRACER = _NullTracer()

@@ -181,6 +181,11 @@ class ChaosReport:
     fixes_fixed: int
     closes_total: int
     service: Dict[str, float]
+    #: Trace id of the first diverging fix (gate failure forensics) and
+    #: its recorded spans — chaos runs trace ``always`` by default, so
+    #: the offending request's per-hop timeline is available post-mortem.
+    divergent_trace: Optional[str] = None
+    divergent_spans: List[Dict[str, Any]] = field(default_factory=list)
 
     def summary(self) -> str:
         status = "PASS" if self.ok else "FAIL"
@@ -306,12 +311,13 @@ class _ChaosDriver:
         session reports state loss; see the module docstring.
         """
         tenant = self._tenant
-        open_request = self._client.stamp_rid(WindowRequest(
+        stamp = self._stamp
+        open_request = stamp(WindowRequest(
             tenant=tenant, robot=robot, event="open",
             t=open_event.get("t", 0.0),
         ))
         observe_requests = [
-            self._client.stamp_rid(ObserveRequest(
+            stamp(ObserveRequest(
                 tenant=tenant,
                 robot=robot,
                 seq=beacon["seq"],
@@ -323,7 +329,7 @@ class _ChaosDriver:
             ))
             for beacon in beacon_events
         ]
-        close_request = self._client.stamp_rid(WindowRequest(
+        close_request = stamp(WindowRequest(
             tenant=tenant, robot=robot, event="close",
             t=close_event.get("t", 0.0),
             # Completeness guard: a crash that rolls the pending buffer
@@ -336,12 +342,13 @@ class _ChaosDriver:
                 open_request, observe_requests, close_request
             )
             if response is not None:
-                self._record_close(close_event, response)
+                self._record_close(close_event, close_request, response)
                 return
             self.window_retries += 1
             self._journal.append({
                 "kind": "window_retry", "robot": robot,
                 "window": close_event.get("window"), "attempt": attempt,
+                "rid": close_request.rid, "trace": close_request.trace,
             })
         raise RuntimeError(
             "window for robot %s did not complete in %d attempts"
@@ -386,6 +393,12 @@ class _ChaosDriver:
 
     # -- plumbing ------------------------------------------------------------
 
+    def _stamp(self, request: Request) -> Request:
+        """rid + trace, both minted exactly once per logical request —
+        every retry of the window unit re-sends the same ids, so the
+        reply cache dedups it and the trace correlates it."""
+        return self._client.stamp_trace(self._client.stamp_rid(request))
+
     async def _send(self, request: Request):
         """Send one request, firing any fault scheduled at this slot."""
         self._requests_sent += 1
@@ -398,31 +411,33 @@ class _ChaosDriver:
 
     async def _hello(self, resume: Optional[str]) -> None:
         log = self._log
-        response = ensure_ok(await self._send(
-            self._client.stamp_rid(HelloRequest(
-                tenant=self._tenant,
-                calibration_seed=log.calibration_seed,
-                calibration_samples=log.calibration_samples,
-                area_side_m=log.area_side_m,
-                grid_resolution_m=log.grid_resolution_m,
-                min_beacons_for_fix=log.min_beacons_for_fix,
-                lut=log.lut,
-                resume=resume,
-            ))
+        hello_request = self._stamp(HelloRequest(
+            tenant=self._tenant,
+            calibration_seed=log.calibration_seed,
+            calibration_samples=log.calibration_samples,
+            area_side_m=log.area_side_m,
+            grid_resolution_m=log.grid_resolution_m,
+            min_beacons_for_fix=log.min_beacons_for_fix,
+            lut=log.lut,
+            resume=resume,
         ))
+        response = ensure_ok(await self._send(hello_request))
         token = response.payload.get("resume")
         if token:
             self._resume_token = token
         self._journal.append({
             "kind": "hello", "resume_sent": resume is not None,
             "restored": bool(response.payload.get("restored")),
+            "rid": hello_request.rid, "trace": hello_request.trace,
         })
 
-    def _record_close(self, close_event, response) -> None:
+    def _record_close(self, close_event, close_request, response) -> None:
         record = {
             "robot": close_event["robot"],
             "window": close_event["window"],
             "fixed": bool(response.payload.get("fixed")),
+            "rid": close_request.rid,
+            "trace": close_request.trace,
         }
         if record["fixed"]:
             record["x_hex"] = response.payload["x_hex"]
@@ -436,6 +451,7 @@ async def run_chaos(
     tenant: str = "chaos",
     config: Optional[ServeConfig] = None,
     chaos_log_path=None,
+    trace_log_path=None,
     registry=None,
 ) -> ChaosReport:
     """Run one chaos schedule against a live TCP server; gate the bytes.
@@ -456,6 +472,8 @@ async def run_chaos(
             the harness triggers evictions.
         chaos_log_path: optional JSONL path recording every fault,
             retry and re-hello (the CI job uploads it as an artifact).
+        trace_log_path: optional trace-JSONL path dumping the run's
+            recorded spans (``repro trace`` reads it).
         registry: optional metrics registry to share.
 
     Returns:
@@ -468,6 +486,9 @@ async def run_chaos(
             n_shards=2,
             session_ttl_s=60.0,
             sweep_interval_s=3600.0,
+            # Forensics beats sampling here: a diverging fix's trace
+            # must be in the buffer, whichever request it was.
+            trace_mode="always",
         )
     if not config.checkpointing or not config.supervise:
         raise ValueError(
@@ -491,6 +512,7 @@ async def run_chaos(
                 max_delay_s=0.05,
                 seed=schedule.seed,
             ),
+            trace_prefix="chaos%d" % schedule.seed,
         )
         await client.connect()
         driver = _ChaosDriver(
@@ -509,6 +531,13 @@ async def run_chaos(
         injector = driver._injector
     finally:
         await server.drain()
+    divergent_trace = (
+        _first_divergent_trace(log, fixes) if problems else None
+    )
+    divergent_spans = (
+        core.tracer.spans_for(divergent_trace)
+        if divergent_trace is not None else []
+    )
     service = core.stats()
     report = ChaosReport(
         seed=schedule.seed,
@@ -534,10 +563,37 @@ async def run_chaos(
                 "serve_sessions_restored",
             )
         },
+        divergent_trace=divergent_trace,
+        divergent_spans=divergent_spans,
     )
     if chaos_log_path is not None:
         _dump_chaos_log(chaos_log_path, schedule, journal, report)
+    if trace_log_path is not None:
+        from repro.obs.export import write_trace_jsonl
+
+        write_trace_jsonl(trace_log_path, core.tracer.records())
     return report
+
+
+def _first_divergent_trace(
+    log: ReplayLog, replayed: List[Dict[str, Any]]
+) -> Optional[str]:
+    """The trace id of the first replayed close that diverges from the
+    recorded batch fixes (mirrors :func:`diff_fixes`'s comparison)."""
+    recorded = [e for e in log.events if e["kind"] == "close"]
+    for want, got in zip(recorded, replayed):
+        if (
+            (want["robot"], want["window"])
+            != (got["robot"], got["window"])
+            or bool(want["fixed"]) != bool(got["fixed"])
+            or (want["fixed"] and any(
+                want[axis] != got[axis] for axis in ("x_hex", "y_hex")
+            ))
+        ):
+            return got.get("trace")
+    if len(replayed) > len(recorded):
+        return replayed[len(recorded)].get("trace")
+    return None
 
 
 def _dump_chaos_log(path, schedule: ChaosSchedule,

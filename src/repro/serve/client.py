@@ -212,6 +212,12 @@ class ServeClient(_RequestSurface):
         retry: reconnect/retry policy (None = fail fast).
         sleep: awaitable sleep used for backoff (injectable so retry
             tests never wait wall-clock time).
+        trace_prefix: when set, :meth:`request` stamps every request
+            with a client-minted trace id (``<prefix>-<n>``) unless the
+            caller stamped one already.  Like the rid, the id is
+            stamped *once* — every retry of a request carries the same
+            trace id, and the server echoes it on the reply line, so
+            retries of one logical request correlate end to end.
     """
 
     def __init__(
@@ -220,6 +226,7 @@ class ServeClient(_RequestSurface):
         port: int = 0,
         retry: Optional[RetryPolicy] = None,
         sleep: Optional[Callable[[float], "asyncio.Future"]] = None,
+        trace_prefix: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -229,6 +236,8 @@ class ServeClient(_RequestSurface):
             retry.seed if retry is not None else 0
         )
         self._rids = itertools.count(1)
+        self._trace_prefix = trace_prefix
+        self._traces = itertools.count(1)
         self.reconnects = 0
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
@@ -310,7 +319,23 @@ class ServeClient(_RequestSurface):
             return replace(request, rid=next(self._rids))
         return request
 
+    def stamp_trace(self, request: Request) -> Request:
+        """Mint this client's next trace id onto the request.
+
+        No-op without a ``trace_prefix`` or when the caller already
+        stamped one — like :meth:`stamp_rid`, stamping happens once per
+        logical request so retries share the id.
+        """
+        if (self._trace_prefix is not None
+                and getattr(request, "trace", "absent") is None):
+            return replace(
+                request,
+                trace="%s-%d" % (self._trace_prefix, next(self._traces)),
+            )
+        return request
+
     async def request(self, request: Request) -> Response:
+        request = self.stamp_trace(request)
         if self._retry is None:
             return await (await self.send(request))
         request = self.stamp_rid(request)

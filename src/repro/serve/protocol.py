@@ -91,6 +91,7 @@ class HelloRequest:
     lut: Optional[bool] = None
     resume: Optional[str] = None
     rid: Optional[int] = None
+    trace: Optional[str] = None
     op: str = field(default="hello", init=False)
 
 
@@ -112,6 +113,7 @@ class WindowRequest:
     t: float = 0.0
     expected: Optional[int] = None
     rid: Optional[int] = None
+    trace: Optional[str] = None
     op: str = field(default="window", init=False)
 
 
@@ -128,6 +130,7 @@ class ObserveRequest:
     anchor_id: Optional[int] = None
     t: float = 0.0
     rid: Optional[int] = None
+    trace: Optional[str] = None
     op: str = field(default="observe", init=False)
 
 
@@ -138,6 +141,7 @@ class FixRequest:
     tenant: str
     robot: int
     rid: Optional[int] = None
+    trace: Optional[str] = None
     op: str = field(default="fix", init=False)
 
 
@@ -148,6 +152,7 @@ class ConfidenceRequest:
     tenant: str
     robot: int
     rid: Optional[int] = None
+    trace: Optional[str] = None
     op: str = field(default="confidence", init=False)
 
 
@@ -157,6 +162,7 @@ class StatsRequest:
 
     tenant: str
     rid: Optional[int] = None
+    trace: Optional[str] = None
     op: str = field(default="stats", init=False)
 
 
@@ -166,6 +172,7 @@ class ByeRequest:
 
     tenant: str
     rid: Optional[int] = None
+    trace: Optional[str] = None
     op: str = field(default="bye", init=False)
 
 
@@ -174,6 +181,7 @@ class PingRequest:
     """Liveness probe; routes through a shard like any other request."""
 
     tenant: str = ""
+    trace: Optional[str] = None
     op: str = field(default="ping", init=False)
 
 
@@ -212,11 +220,17 @@ class Response:
             ``unknown_tenant``, ``bad_request``, ...) when ``ok`` is
             False.
         payload: op-specific result fields.
+        trace: echoed trace id.  Never part of ``payload`` (the replay
+            gate compares payloads byte for byte) and never set on the
+            session's cached replies — the server splices it onto the
+            wire line per delivery, so a retry served from the reply
+            cache echoes the *retry's* trace id.
     """
 
     ok: bool
     error: Optional[str] = None
     payload: Dict[str, Any] = field(default_factory=dict)
+    trace: Optional[str] = None
 
 
 def error_response(tag: str, detail: Optional[str] = None) -> Response:
@@ -252,7 +266,19 @@ def parse_request(data: Union[str, bytes, Dict[str, Any]]) -> Request:
     return request
 
 
+#: Maximum accepted length of a wire ``trace`` id (characters).
+MAX_TRACE_CHARS = 128
+
+
 def _validate(request: Request) -> None:
+    if request.trace is not None and (
+        not isinstance(request.trace, str)
+        or not request.trace
+        or len(request.trace) > MAX_TRACE_CHARS
+    ):
+        raise ProtocolError(
+            "trace must be a non-empty string (<=%d chars)" % MAX_TRACE_CHARS
+        )
     if not isinstance(request, PingRequest):
         tenant = request.tenant
         if not isinstance(tenant, str) or not tenant or len(tenant) > 256:
@@ -304,17 +330,29 @@ def encode_request(request: Request) -> str:
     """One request as its wire line (no trailing newline)."""
     record = asdict(request)
     # Drop defaulted optionals to keep lines short on the hot path.
-    for optional in ("anchor_id", "rid", "resume", "expected"):
+    for optional in ("anchor_id", "rid", "resume", "expected", "trace"):
         if record.get(optional, 0) is None:
             del record[optional]
     return json.dumps(record, sort_keys=True, separators=(",", ":"))
 
 
-def encode_response(response: Response) -> str:
-    """One response as its wire line (no trailing newline)."""
+def encode_response(
+    response: Response, trace: Optional[str] = None
+) -> str:
+    """One response as its wire line (no trailing newline).
+
+    ``trace`` (or, failing that, ``response.trace``) is spliced onto the
+    line as a top-level ``trace`` key — *not* merged into the payload,
+    so cached replies stay byte-identical across retries carrying
+    different trace ids.
+    """
     record: Dict[str, Any] = {"ok": response.ok}
     if response.error is not None:
         record["error"] = response.error
+    if trace is None:
+        trace = response.trace
+    if trace is not None:
+        record["trace"] = trace
     record.update(response.payload)
     return json.dumps(record, sort_keys=True, separators=(",", ":"))
 
@@ -329,4 +367,5 @@ def parse_response(line: Union[str, bytes]) -> Response:
         raise ProtocolError("response must be a JSON object with 'ok'")
     ok = bool(data.pop("ok"))
     error = data.pop("error", None)
-    return Response(ok=ok, error=error, payload=data)
+    trace = data.pop("trace", None)
+    return Response(ok=ok, error=error, payload=data, trace=trace)

@@ -47,6 +47,8 @@ from repro.serve.protocol import (
     error_response,
     parse_request,
 )
+from repro.obs.oplog import OpsLog
+from repro.obs.trace import TRACE_MODES, RequestTracer, TraceConfig
 from repro.serve.checkpoint import CheckpointStore
 from repro.serve.session import (
     CalibrationStore,
@@ -85,6 +87,16 @@ class ServeConfig:
             :mod:`repro.serve.checkpoint`).  Off = the pre-durability
             behaviour: a crash or eviction loses the session.
         supervise: revive dead shard workers automatically.
+        trace_mode: request tracing — ``off``, ``sampled`` (head-sample
+            one request in ``trace_sample_every`` plus every request
+            slower than ``trace_slow_ms``; the always-on-cheap default)
+            or ``always`` (keep every trace; benchmarks and chaos
+            forensics).  Tracing never touches science payloads — the
+            replay gate proves byte-identity in every mode.
+        trace_sample_every: head-sampling period in ``sampled`` mode.
+        trace_slow_ms: tail-sampling latency threshold (ms) in
+            ``sampled`` mode.
+        trace_max_spans: span-buffer capacity (oldest evicted first).
     """
 
     host: str = "127.0.0.1"
@@ -99,6 +111,10 @@ class ServeConfig:
     reply_queue_limit: int = 128
     checkpointing: bool = True
     supervise: bool = True
+    trace_mode: str = "sampled"
+    trace_sample_every: int = 128
+    trace_slow_ms: float = 25.0
+    trace_max_spans: int = 50_000
 
     def __post_init__(self) -> None:
         if not 0 <= self.port <= 65535:
@@ -107,6 +123,19 @@ class ServeConfig:
             raise ValueError("n_shards must be >= 1")
         if self.reply_queue_limit < 1:
             raise ValueError("reply_queue_limit must be >= 1")
+        if self.trace_mode not in TRACE_MODES:
+            raise ValueError(
+                "trace_mode must be one of %r" % (TRACE_MODES,)
+            )
+
+    def trace_config(self) -> TraceConfig:
+        """The knobs as an :class:`~repro.obs.trace.TraceConfig`."""
+        return TraceConfig(
+            mode=self.trace_mode,
+            head_sample_every=self.trace_sample_every,
+            slow_ms=self.trace_slow_ms,
+            max_spans=self.trace_max_spans,
+        )
 
 
 class ServiceCore:
@@ -133,6 +162,12 @@ class ServiceCore:
         self.config = config if config is not None else ServeConfig()
         self.registry = registry if registry is not None else MetricsRegistry()
         self._clock = clock if clock is not None else time.monotonic
+        # Wall-clock observability (repro.obs) — outside the sim core's
+        # virtual-time contract, inert toward science payloads.
+        self.tracer = RequestTracer(
+            self.config.trace_config(), registry=self.registry
+        )
+        self.ops = OpsLog()
         self.calibrations = CalibrationStore(
             warm_store=warm_store, registry=self.registry
         )
@@ -159,6 +194,7 @@ class ServiceCore:
                 clock=self._clock,
                 registry=self.registry,
                 checkpoints=self.checkpoints,
+                ops=self.ops,
             )
             for i in range(self.config.n_shards)
         ]
@@ -168,6 +204,7 @@ class ServiceCore:
                 n_shards=self.config.n_shards,
                 checkpoints=self.checkpoints,
                 registry=self.registry,
+                ops=self.ops,
             )
             for shard in self.shards
         ] if self.config.supervise else []
@@ -251,19 +288,46 @@ class ServiceCore:
         from submission to resolution lands in the
         ``serve_request_latency_s`` histogram.
         """
+        future, _trace_id = self.submit_traced(request)
+        return future
+
+    def submit_traced(self, request: Request):
+        """:meth:`submit`, also returning the trace id to echo.
+
+        The id is the request's own ``trace`` when the client stamped
+        one (echoed even with tracing off — correlation must not depend
+        on server sampling), a server-minted id when tracing is on, and
+        ``None`` otherwise.  The root span opens here and closes on the
+        future's resolution; the sampling keep/drop decision happens at
+        that close (see :meth:`~repro.obs.trace.RequestTracer.finish`).
+        """
         self.registry.counter("serve_requests_total").inc()
         started = self._clock()
-        future = self.shard_for(getattr(request, "tenant", "")).submit(request)
+        active = self.tracer.begin(request)
+        trace_id = (
+            active.trace_id if active is not None
+            else getattr(request, "trace", None)
+        )
+        future = self.shard_for(getattr(request, "tenant", "")).submit(
+            request, trace=active
+        )
         histogram = self.registry.histogram(
             "serve_request_latency_s", DURATION_EDGES_S
         )
+        tracer = self.tracer
 
         def _observe(done: "asyncio.Future") -> None:
-            if not done.cancelled():
-                histogram.observe(self._clock() - started)
+            if done.cancelled():
+                return
+            histogram.observe(self._clock() - started)
+            if active is not None:
+                response = (
+                    done.result() if done.exception() is None else None
+                )
+                tracer.finish(active, response)
 
         future.add_done_callback(_observe)
-        return future
+        return future, trace_id
 
     async def handle(self, request: Request) -> Response:
         """Submit and await one request (the in-process client path)."""
@@ -285,6 +349,7 @@ class ServiceCore:
         )
         self.registry.gauge("serve_sessions_active").set(sessions)
         self.registry.gauge("serve_robots_active").set(robots)
+        self.registry.gauge("serve_robots_active_peak").set_max(robots)
         self.registry.gauge("serve_shards").set(len(self.shards))
 
     def stats(self) -> Dict[str, float]:
@@ -400,21 +465,28 @@ class LocalizationServer:
                 self.core.registry.counter("serve_protocol_errors").inc()
                 done = asyncio.get_running_loop().create_future()
                 done.set_result(error_response("bad_request", str(exc)))
-                await replies.put(done)
+                await replies.put((done, None))
                 continue
             # Bounded reply queue: when the consumer stops reading its
             # responses this put blocks, pausing the reader — TCP
             # backpressure all the way to the sender.
-            await replies.put(self.core.submit(request))
+            await replies.put(self.core.submit_traced(request))
 
     async def _write_replies(self, replies, writer) -> None:
         while True:
-            pending = await replies.get()
-            if pending is None:
+            item = await replies.get()
+            if item is None:
                 return
+            pending, trace_id = item
             response = await pending
             try:
-                writer.write(encode_response(response).encode("utf-8") + b"\n")
+                # The trace id is spliced onto the wire line here, never
+                # onto the Response: cached replies are shared across
+                # retries that carry different trace ids.
+                writer.write(
+                    encode_response(response, trace=trace_id)
+                    .encode("utf-8") + b"\n"
+                )
                 await writer.drain()
             except (ConnectionError, RuntimeError):
                 return

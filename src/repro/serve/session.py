@@ -199,16 +199,26 @@ class TenantSession:
                 min_beacons_for_fix=self.hello.min_beacons_for_fix,
             )
             lane = self._lanes[robot] = _RobotLane(estimator)
+            robots = self._registry.gauge("serve_robots_active")
+            robots.add(1)
+            self._registry.gauge("serve_robots_active_peak").set_max(
+                robots.value
+            )
         return lane
 
     # -- request handling ----------------------------------------------------
 
-    def handle(self, request) -> Response:
+    def handle(self, request, trace=None) -> Response:
         """Dispatch one already-validated request for this tenant.
 
         A request whose ``rid`` is already in the reply cache is a
         client retry of work this session has performed: the original
         reply comes back verbatim and nothing is re-executed.
+
+        ``trace`` is the request's
+        :class:`~repro.obs.trace.ActiveTrace` (or ``None``); window
+        closes record ``estimator_ingest`` and ``checkpoint`` hops on
+        it.  Tracing never changes what this method returns.
         """
         self.last_active = self._clock()
         rid = getattr(request, "rid", None)
@@ -217,21 +227,23 @@ class TenantSession:
             if cached is not None:
                 self.replays_served += 1
                 self._registry.counter("serve_replays_served").inc()
+                if trace is not None:
+                    trace.root.attrs["replayed"] = True
                 return cached
-        response = self._dispatch(request)
+        response = self._dispatch(request, trace)
         if rid is not None and _mutated_state(request, response):
             self._replies[rid] = response
             while len(self._replies) > self._limits.reply_cache_size:
                 self._replies.popitem(last=False)
         return response
 
-    def _dispatch(self, request) -> Response:
+    def _dispatch(self, request, trace=None) -> Response:
         if isinstance(request, ObserveRequest):
             return self._observe(request)
         if isinstance(request, WindowRequest):
             if request.event == "open":
                 return self._window_open(request)
-            return self._window_close(request)
+            return self._window_close(request, trace)
         if isinstance(request, FixRequest):
             return self._fix(request)
         if isinstance(request, ConfidenceRequest):
@@ -293,7 +305,7 @@ class TenantSession:
         self._registry.counter("serve_observations_total").inc()
         return Response(ok=True, payload={"buffered": True})
 
-    def _window_close(self, request: WindowRequest) -> Response:
+    def _window_close(self, request: WindowRequest, trace=None) -> Response:
         lane = self._lane_for(request.robot, create=False)
         if lane is None or not lane.window_open:
             return error_response("no_open_window")
@@ -314,6 +326,13 @@ class TenantSession:
         estimator = lane.estimator
         fixes_before = estimator.fixes
         self._dirty_lanes.add(request.robot)
+        ingest_span = (
+            trace.open_span(
+                "estimator_ingest",
+                robot=request.robot, pending=len(lane.pending),
+            )
+            if trace is not None else None
+        )
         # Source order, not arrival order: this is the determinism hinge.
         lane.pending.sort(key=lambda item: item[0])
         for _seq, observation in lane.pending:
@@ -321,6 +340,8 @@ class TenantSession:
         applied = len(lane.pending)
         lane.pending.clear()
         estimator.on_window_close()
+        if trace is not None:
+            trace.close_span(ingest_span)
         lane.window_open = False
         self.windows_closed += 1
         self._registry.counter("serve_windows_closed").inc()
@@ -344,7 +365,11 @@ class TenantSession:
                 self._replies[request.rid] = response
                 while len(self._replies) > self._limits.reply_cache_size:
                     self._replies.popitem(last=False)
-            self.checkpoint_now()
+            if trace is not None:
+                with trace.hop("checkpoint", robot=request.robot):
+                    self.checkpoint_now()
+            else:
+                self.checkpoint_now()
         return response
 
     def _fix(self, request: FixRequest) -> Response:

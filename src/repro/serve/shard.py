@@ -43,6 +43,7 @@ from repro.serve.protocol import (
     Response,
     error_response,
 )
+from repro.obs.oplog import NULL_OPS_LOG
 from repro.serve.session import TenantSession
 from repro.telemetry.registry import NULL_REGISTRY
 
@@ -75,6 +76,8 @@ class Shard:
         checkpoints: optional
             :class:`~repro.serve.checkpoint.CheckpointStore` enabling
             checkpoint-before-evict and resume-token re-hydration.
+        ops: structured ops-event log (:class:`~repro.obs.oplog.OpsLog`)
+            for eviction events; a no-op shim by default.
     """
 
     def __init__(
@@ -88,6 +91,7 @@ class Shard:
         clock: Optional[Callable[[], float]] = None,
         registry=NULL_REGISTRY,
         checkpoints=None,
+        ops=NULL_OPS_LOG,
     ) -> None:
         if queue_limit < 1 or tenant_inflight_limit < 1:
             raise ValueError("queue limits must be >= 1")
@@ -102,6 +106,7 @@ class Shard:
         self._clock = clock if clock is not None else _zero_clock
         self._registry = registry
         self._checkpoints = checkpoints
+        self._ops = ops
         self._queue: "asyncio.Queue" = asyncio.Queue(maxsize=queue_limit)
         self._inflight: Dict[str, int] = {}
         self.sessions: Dict[str, TenantSession] = {}
@@ -156,7 +161,7 @@ class Shard:
                 except asyncio.CancelledError:
                     pass
         while not self._queue.empty():
-            _request, future = self._queue.get_nowait()
+            _request, future, _trace = self._queue.get_nowait()
             if not future.done():
                 future.set_result(error_response("shutting_down"))
 
@@ -184,11 +189,14 @@ class Shard:
 
     # -- submission ----------------------------------------------------------
 
-    def submit(self, request: Request) -> "asyncio.Future":
+    def submit(self, request: Request, trace=None) -> "asyncio.Future":
         """Enqueue one request; resolves to its :class:`Response`.
 
         Sheds (an immediately-resolved error future) when the shard
-        queue or the tenant's in-flight budget is exhausted.
+        queue or the tenant's in-flight budget is exhausted.  ``trace``
+        is the request's :class:`~repro.obs.trace.ActiveTrace` (or
+        ``None``): it rides the queue tuple so the worker can close the
+        queue-wait span the moment it dequeues.
         """
         loop = asyncio.get_running_loop()
         future = loop.create_future()
@@ -202,7 +210,7 @@ class Shard:
             future.set_result(error_response("tenant_overloaded"))
             return future
         try:
-            self._queue.put_nowait((request, future))
+            self._queue.put_nowait((request, future, trace))
         except asyncio.QueueFull:
             self.shed += 1
             self._registry.counter("serve_shed_total").inc()
@@ -222,7 +230,7 @@ class Shard:
 
     async def _run(self) -> None:
         while True:
-            request, future = await self._queue.get()
+            request, future, trace = await self._queue.get()
             # handle() is synchronous, so a cancellation (shutdown, or a
             # chaos kill) can only land at the ``get`` await above — a
             # request's session mutation and its checkpoint are atomic
@@ -234,7 +242,14 @@ class Shard:
                     self._inflight[tenant] = remaining
                 else:
                     self._inflight.pop(tenant, None)
-                response = self.handle(request)
+                service_span = None
+                if trace is not None:
+                    # Queue wait ends, the worker's service slot begins.
+                    service_span = trace.dequeued()
+                    service_span.attrs["shard"] = self.index
+                response = self.handle(request, trace=trace)
+                if trace is not None:
+                    trace.close_span(service_span)
                 if not future.done():
                     future.set_result(response)
                 self.processed += 1
@@ -253,21 +268,21 @@ class Shard:
             await asyncio.sleep(self._sweep_s)
             self.sweep_idle_sessions()
 
-    def handle(self, request: Request) -> Response:
+    def handle(self, request: Request, trace=None) -> Response:
         """Process one request synchronously (the worker's inner step).
 
         Exposed for the in-process client and unit tests; identical to
         what the worker task runs.
         """
         try:
-            return self._dispatch(request)
+            return self._dispatch(request, trace)
         except Exception as exc:  # service must outlive a bad request
             self._registry.counter("serve_errors_total").inc()
             return error_response("internal", "%s: %s" % (
                 type(exc).__name__, exc,
             ))
 
-    def _dispatch(self, request: Request) -> Response:
+    def _dispatch(self, request: Request, trace=None) -> Response:
         if isinstance(request, PingRequest):
             return Response(ok=True, payload={"pong": True,
                                               "shard": self.index})
@@ -292,11 +307,14 @@ class Shard:
                 if request.resume is not None:
                     payload["restored"] = restored
                 return Response(ok=True, payload=payload)
-            return session.handle(request)
+            return session.handle(request, trace=trace)
         if isinstance(request, ByeRequest):
             session = self.sessions.pop(request.tenant, None)
             if session is None:
                 return error_response("unknown_tenant")
+            self._registry.gauge("serve_robots_active").add(
+                -session.n_robots
+            )
             if self._checkpoints is not None:
                 # An explicit goodbye is a promise not to resume.
                 self._checkpoints.forget(request.tenant)
@@ -304,7 +322,7 @@ class Shard:
         session = self.sessions.get(request.tenant)
         if session is None:
             return error_response("unknown_tenant")
-        return session.handle(request)
+        return session.handle(request, trace=trace)
 
     def _try_resume(self, session: TenantSession, token: str) -> bool:
         """Re-hydrate ``session`` from the checkpoint a hello named.
@@ -356,10 +374,20 @@ class Shard:
             if session.idle_for(now) > self._ttl_s
         ]
         for tenant in expired:
-            self.sessions[tenant].checkpoint_now()
-            del self.sessions[tenant]
+            session = self.sessions.pop(tenant)
+            token = session.checkpoint_now()
+            self._registry.gauge("serve_robots_active").add(
+                -session.n_robots
+            )
             self.evicted += 1
             self._registry.counter("serve_sessions_evicted").inc()
+            self._ops.emit(
+                "session_evicted",
+                tenant=tenant,
+                shard=self.index,
+                robots=session.n_robots,
+                resume=token,
+            )
         return len(expired)
 
 

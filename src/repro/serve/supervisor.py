@@ -27,6 +27,7 @@ from __future__ import annotations
 import asyncio
 from typing import Optional
 
+from repro.obs.oplog import NULL_OPS_LOG
 from repro.serve.shard import Shard, shard_index_for
 from repro.telemetry.registry import NULL_REGISTRY
 
@@ -45,6 +46,9 @@ class ShardSupervisor:
             (restart-only supervision: workers revive, lost sessions
             stay lost until a client resumes them).
         registry: telemetry registry.
+        ops: structured ops-event log (:class:`~repro.obs.oplog.OpsLog`)
+            — restarts and re-hydrations are exactly the events an
+            operator pivots to from a slow trace.
     """
 
     def __init__(
@@ -53,11 +57,13 @@ class ShardSupervisor:
         n_shards: int,
         checkpoints=None,
         registry=NULL_REGISTRY,
+        ops=NULL_OPS_LOG,
     ) -> None:
         self._shard = shard
         self._n_shards = n_shards
         self._checkpoints = checkpoints
         self._registry = registry
+        self._ops = ops
         self._armed = False
         self.restarts = 0
         self.rehydrations = 0
@@ -95,6 +101,12 @@ class ShardSupervisor:
         shard = self._shard
         self.restarts += 1
         self._registry.counter("serve_shard_restarts").inc()
+        self._ops.emit(
+            "shard_restarted",
+            shard=shard.index,
+            restarts=self.restarts,
+            error=self.last_error,
+        )
         self._watch(shard.restart_worker())
         if self._checkpoints is None:
             return
@@ -115,3 +127,9 @@ class ShardSupervisor:
                 continue
             self.rehydrations += 1
             self._registry.counter("serve_rehydrations").inc()
+            self._ops.emit(
+                "session_rehydrated",
+                tenant=tenant,
+                shard=shard.index,
+                resume=checkpoint.fingerprint,
+            )

@@ -90,6 +90,11 @@ class Gauge:
         if value > self.value:
             self.value = float(value)
 
+    def add(self, delta: float) -> None:
+        """Move the gauge by ``delta`` (live up/down counts: sessions,
+        robots — increment on create, decrement on evict)."""
+        self.value += float(delta)
+
     def __repr__(self) -> str:
         return "Gauge(%s=%g)" % (self.name, self.value)
 
@@ -261,6 +266,9 @@ class _NullInstrument:
         pass
 
     def set_max(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
         pass
 
     def observe(self, value: float) -> None:

@@ -502,3 +502,176 @@ def test_cli_serve_bad_config_exits_2(capsys, argv):
     out = capsys.readouterr().out
     assert code == 2
     assert out.startswith("serve: ")
+
+
+# -- observability: trace echo, gauges, probes under load ---------------------
+
+
+def test_tcp_echoes_client_stamped_trace():
+    async def scenario():
+        server = LocalizationServer(_small_core())
+        await server.start()
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", server.port
+        )
+        writer.write(b'{"op": "ping", "trace": "client-abc"}\n')
+        writer.write(b'{"op": "ping"}\n')
+        await writer.drain()
+        stamped = json.loads(await reader.readline())
+        assert stamped["trace"] == "client-abc"
+        # Sampled mode still answers the raw peer with a minted id.
+        unstamped = json.loads(await reader.readline())
+        assert unstamped.get("trace")
+        assert unstamped["trace"] != "client-abc"
+        writer.close()
+        await writer.wait_closed()
+        await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_trace_echo_survives_tracing_off():
+    async def scenario():
+        server = LocalizationServer(_small_core(trace_mode="off"))
+        await server.start()
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", server.port
+        )
+        writer.write(b'{"op": "ping", "trace": "still-here"}\n')
+        writer.write(b'{"op": "ping"}\n')
+        await writer.drain()
+        stamped = json.loads(await reader.readline())
+        assert stamped["trace"] == "still-here"
+        # No client id and no tracing: nothing to echo, nothing minted.
+        unstamped = json.loads(await reader.readline())
+        assert "trace" not in unstamped
+        writer.close()
+        await writer.wait_closed()
+        await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_trace_never_leaks_into_cached_replies(pdf_table):
+    # An idempotent retry carrying a *different* trace id must get the
+    # cached payload byte-identically, echoing the retry's own id.
+    session = _session(pdf_table)
+    first = session.handle(WindowRequest(
+        tenant="t", robot=0, event="open", rid=1, trace="attempt-1",
+    ))
+    retry = session.handle(WindowRequest(
+        tenant="t", robot=0, event="open", rid=1, trace="attempt-2",
+    ))
+    assert retry is first  # cache hit: the very same Response object
+    assert first.trace is None
+    assert (encode_response(first, trace="attempt-1")
+            != encode_response(first, trace="attempt-2"))
+    assert json.loads(encode_response(first, trace="attempt-2"))["trace"] \
+        == "attempt-2"
+
+
+def test_tracer_records_per_hop_spans():
+    async def scenario():
+        core = _small_core(trace_mode="always")
+        client = InProcessClient(core)
+        assert (await client.hello(
+            "t", calibration_samples=2000, area_side_m=80.0
+        )).ok
+        await client.window_open("t", 0)
+        for seq, (x, y, rssi) in enumerate(BEACONS):
+            await client.observe("t", 0, seq=seq, x=x, y=y, rssi_dbm=rssi)
+        close = await client.window_close("t", 0)
+        assert close.ok and close.payload["fixed"]
+        records = core.tracer.records()
+        await core.stop()
+        return records
+
+    records = asyncio.run(scenario())
+    names = {record["name"] for record in records}
+    assert {"request", "queue", "shard_service",
+            "estimator_ingest", "checkpoint"} <= names
+    # Every non-root span is parented inside its own trace's root.
+    roots = {record["trace"]: record["span"] for record in records
+             if record["name"] == "request"}
+    for record in records:
+        if record["name"] != "request":
+            assert record["parent"] == roots[record["trace"]]
+    # Closed spans nest inside their root's interval.
+    for record in records:
+        root_spans = [r for r in records
+                      if r["trace"] == record["trace"]
+                      and r["name"] == "request"]
+        assert record["start_s"] >= root_spans[0]["start_s"]
+        assert record["end_s"] <= root_spans[0]["end_s"]
+
+
+def test_robots_active_gauge_tracks_lifecycle():
+    async def scenario():
+        core = _small_core()
+        client = InProcessClient(core)
+        await client.hello("a", calibration_samples=2000, area_side_m=80.0)
+        await client.hello("b", calibration_samples=2000, area_side_m=80.0)
+        for tenant in ("a", "b"):
+            await client.window_open(tenant, 0)
+            await client.window_open(tenant, 1)
+        # Live gauge moved by add() at lane creation, before any scrape.
+        assert core.registry.gauge("serve_robots_active").value == 4.0
+        assert core.registry.gauge("serve_robots_active_peak").value == 4.0
+        assert (await client.bye("a")).ok
+        # Decrement-on-evict: bye subtracts the tenant's robots.
+        assert core.registry.gauge("serve_robots_active").value == 2.0
+        stats = core.stats()
+        await core.stop()
+        return stats
+
+    stats = asyncio.run(scenario())
+    # The scrape recomputes truth; the peak survives the eviction.
+    assert stats["serve_robots_active"] == 2.0
+    assert stats["serve_robots_active_peak"] == 4.0
+
+
+def test_health_probes_concurrent_with_live_ingest():
+    async def scenario():
+        server = LocalizationServer(_small_core())
+        await server.start()
+
+        async def load(tenant):
+            async with ServeClient("127.0.0.1", server.port) as client:
+                await client.hello(tenant, calibration_samples=2000,
+                                   area_side_m=80.0)
+                for window in range(4):
+                    await client.window_open(tenant, 0, t=float(window))
+                    for seq, (x, y, rssi) in enumerate(BEACONS):
+                        await client.observe(tenant, 0, seq=seq, x=x, y=y,
+                                             rssi_dbm=rssi, t=float(window))
+                    close = await client.window_close(tenant, 0,
+                                                      t=float(window))
+                    assert close.ok
+            return True
+
+        async def scrape_loop():
+            bodies = []
+            for _ in range(6):
+                for path in (b"/healthz", b"/readyz", b"/metrics"):
+                    bodies.append((path, await _http_get(server.port, path)))
+                await asyncio.sleep(0)
+            return bodies
+
+        results = await asyncio.gather(
+            load("probe-a"), load("probe-b"),
+            scrape_loop(), scrape_loop(),
+        )
+        await server.stop()
+        return results
+
+    load_a, load_b, *scrapes = asyncio.run(scenario())
+    assert load_a and load_b
+    for bodies in scrapes:
+        for path, body in bodies:
+            assert b"200 OK" in body, path
+            if path == b"/healthz":
+                assert b"ok" in body
+            elif path == b"/readyz":
+                assert b"ready" in body
+            else:
+                assert b"repro_serve_requests_total" in body

@@ -163,3 +163,72 @@ def test_chaos_survives_a_heavier_schedule(chaos_logs):
     assert report.faults_injected == 9
     # The schedule really exercised recovery, not a quiet run.
     assert report.service["serve_checkpoints_saved"] > 0
+
+
+# -- trace forensics ----------------------------------------------------------
+
+
+class _FakeLog:
+    """Just enough of a ReplayLog for the divergence comparison."""
+
+    def __init__(self, events):
+        self.events = events
+
+
+def _close(robot, window, fixed=True, x="0x1.8p+4", y="0x1.2p+5"):
+    event = {"kind": "close", "robot": robot, "window": window,
+             "fixed": fixed}
+    if fixed:
+        event["x_hex"], event["y_hex"] = x, y
+    return event
+
+
+def test_first_divergent_trace_pinpoints_the_bad_fix():
+    from repro.serve.chaos import _first_divergent_trace
+
+    log = _FakeLog([_close(0, 0), _close(1, 0)])
+    replayed = [
+        {"robot": 0, "window": 0, "fixed": True, "x_hex": "0x1.8p+4",
+         "y_hex": "0x1.2p+5", "trace": "chaos1-7"},
+        {"robot": 1, "window": 0, "fixed": True, "x_hex": "0xd.eadp+0",
+         "y_hex": "0x1.2p+5", "trace": "chaos1-9"},
+    ]
+    assert _first_divergent_trace(log, replayed) == "chaos1-9"
+    # Byte-identical replay: nothing to report.
+    replayed[1]["x_hex"] = "0x1.8p+4"
+    assert _first_divergent_trace(log, replayed) is None
+    # A missing fix diverges too (fixed flag flips).
+    replayed[0]["fixed"] = False
+    assert _first_divergent_trace(log, replayed) == "chaos1-7"
+
+
+def test_chaos_run_records_traces_and_journal_ids(chaos_logs, tmp_path):
+    """A passing chaos run still records every request's spans (tracing
+    is forced to ``always``), stamps its journal with rid + trace, and
+    dumps trace JSONL when asked."""
+    log = chaos_logs[1]
+    schedule = ChaosSchedule.for_log(log, seed=1)
+    log_path = tmp_path / "chaos.jsonl"
+    trace_path = tmp_path / "chaos_traces.jsonl"
+    report = asyncio.run(run_chaos(
+        log, schedule, tenant="chaos-traced",
+        chaos_log_path=str(log_path),
+        trace_log_path=str(trace_path),
+    ))
+    assert report.ok, report.summary()
+    assert report.divergent_trace is None
+    assert report.divergent_spans == []
+    # Journal fault/retry entries carry the ids needed to pivot into
+    # the trace recording.
+    lines = [json.loads(line)
+             for line in log_path.read_text().splitlines()]
+    stamped = [line for line in lines
+               if line["kind"] in ("window_retry", "hello")]
+    assert stamped, "chaos run must journal hellos/retries"
+    assert all("trace" in line and "rid" in line for line in stamped)
+    spans = [json.loads(line)
+             for line in trace_path.read_text().splitlines()]
+    assert spans, "always-on tracing must record spans"
+    assert {span["name"] for span in spans} >= {"request", "queue",
+                                                "shard_service"}
+    assert all(span["trace"].startswith("chaos1-") for span in spans)

@@ -53,9 +53,9 @@ def recorded_logs():
     return logs
 
 
-def _replay(log, tenant, shuffle_rng=None):
+def _replay(log, tenant, shuffle_rng=None, **serve_overrides):
     async def scenario():
-        core = ServiceCore(ServeConfig(n_shards=2))
+        core = ServiceCore(ServeConfig(n_shards=2, **serve_overrides))
         client = InProcessClient(core)
         try:
             return await replay_log(client, log, tenant,
@@ -64,6 +64,18 @@ def _replay(log, tenant, shuffle_rng=None):
             await core.stop()
 
     return asyncio.run(scenario())
+
+
+#: Tracing shapes the gate must be blind to: off, record-everything,
+#: and tail-sampling with a 0 ms threshold (every request takes the
+#: tail-keep path).  The in-order gate below runs the serving default
+#: (``sampled``).
+TRACE_SHAPES = {
+    "off": {"trace_mode": "off"},
+    "always": {"trace_mode": "always"},
+    "tail": {"trace_mode": "sampled", "trace_slow_ms": 0.0,
+             "trace_sample_every": 10**6},
+}
 
 
 @pytest.mark.parametrize("seed", GATE_SEEDS)
@@ -82,6 +94,20 @@ def test_service_fixes_byte_identical_out_of_order(recorded_logs, seed):
         shuffle_rng=np.random.default_rng(1000 + seed),
     )
     assert diff_fixes(log, shuffled) == []
+
+
+@pytest.mark.parametrize("shape", sorted(TRACE_SHAPES))
+@pytest.mark.parametrize("seed", GATE_SEEDS)
+def test_service_fixes_byte_identical_under_tracing(
+    recorded_logs, seed, shape
+):
+    """Wall-clock tracing must be invisible to the science bytes:
+    the gate passes identically with tracing off, recording every
+    request, or tail-sampling all of them."""
+    log = recorded_logs[seed]
+    replayed = _replay(log, "trace-%s-%d" % (shape, seed),
+                       **TRACE_SHAPES[shape])
+    assert diff_fixes(log, replayed) == []
 
 
 def test_replay_log_jsonl_round_trip(recorded_logs, tmp_path):
