@@ -171,23 +171,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="statically enforce the determinism contract (REP001-REP007)",
+        help="statically enforce the determinism (REP) and async-safety "
+             "(ASY) contracts",
     )
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to lint (default: src)")
     lint.add_argument("--json", action="store_true",
                       help="emit findings as JSON instead of text")
     lint.add_argument("--select", default=None, metavar="CODES",
-                      help="comma-separated codes to run (e.g. REP001,REP004)")
+                      help="comma-separated codes or families to run "
+                           "(e.g. REP001,ASY or ASY001,ASY002)")
     lint.add_argument("--ignore", default=None, metavar="CODES",
-                      help="comma-separated codes to skip")
+                      help="comma-separated codes or families to skip")
+    lint.add_argument("--async", dest="async_only", action="store_true",
+                      help="run only the async-safety family "
+                           "(shorthand for --select ASY)")
     lint.add_argument("--baseline", default=None, metavar="PATH",
                       help="suppress findings recorded in this baseline file")
     lint.add_argument("--write-baseline", default=None, metavar="PATH",
                       help="record current findings as the grandfathered "
-                           "baseline and exit 0")
+                           "baseline and exit 0 (zero findings remove a "
+                           "stale baseline file)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print every rule code with its summary and exit")
+    lint.add_argument("--sanitize", action="store_true",
+                      help="run the asyncio test suites under debug mode "
+                           "with the slow-callback threshold and fail on "
+                           "blocked-loop / lost-task diagnostics")
+    lint.add_argument("--sanitize-out", default=None, metavar="PATH",
+                      help="write the sanitizer's JSON findings artifact "
+                           "here (same schema as --json)")
+    lint.add_argument("--slow-callback-ms", type=float, default=None,
+                      metavar="MS",
+                      help="sanitizer blocked-loop threshold in "
+                           "milliseconds (default 250)")
 
     bench = sub.add_parser(
         "bench",
@@ -656,6 +673,7 @@ def cmd_report(args: argparse.Namespace, out) -> int:
 def cmd_lint(args: argparse.Namespace, out) -> int:
     from repro.lint import (
         FRAMEWORK_CODES,
+        SANITIZER_CODES,
         LintUsageError,
         all_rules,
         format_human,
@@ -670,11 +688,27 @@ def cmd_lint(args: argparse.Namespace, out) -> int:
             print("%s  %-22s %s" % (code, cls.name, cls.summary), file=out)
         for code, summary in sorted(FRAMEWORK_CODES.items()):
             print("%s  %-22s %s" % (code, "(framework)", summary), file=out)
+        for code, summary in sorted(SANITIZER_CODES.items()):
+            print("%s  %-22s %s" % (code, "(sanitizer)", summary), file=out)
         return 0
+    if args.sanitize:
+        from repro.lint.sanitize import run_gate
+
+        return run_gate(
+            slow_callback_ms=args.slow_callback_ms,
+            json_out=args.sanitize_out,
+            out=out,
+        )
+    select = args.select
+    if args.async_only:
+        if select is not None:
+            print("lint: --async conflicts with --select", file=out)
+            return 2
+        select = "ASY"
     try:
         report = lint_paths(
             args.paths,
-            select=parse_code_list(args.select, "--select"),
+            select=parse_code_list(select, "--select"),
             ignore=parse_code_list(args.ignore, "--ignore"),
             baseline_path=args.baseline,
         )
@@ -682,11 +716,14 @@ def cmd_lint(args: argparse.Namespace, out) -> int:
         print("lint: %s" % exc, file=out)
         return 2
     if args.write_baseline is not None:
-        write_baseline(args.write_baseline, report.findings)
-        print("wrote %d finding%s to baseline %s"
-              % (len(report.findings),
-                 "" if len(report.findings) == 1 else "s",
-                 args.write_baseline), file=out)
+        if write_baseline(args.write_baseline, report.findings):
+            print("wrote %d finding%s to baseline %s"
+                  % (len(report.findings),
+                     "" if len(report.findings) == 1 else "s",
+                     args.write_baseline), file=out)
+        else:
+            print("no findings: removed any stale baseline at %s"
+                  % args.write_baseline, file=out)
         return 0
     if args.json:
         print(format_json(report), file=out)

@@ -15,6 +15,7 @@ mechanism exists for future grandfathering and for downstream forks.
 from __future__ import annotations
 
 import json
+import os
 from collections import Counter
 from typing import Dict, List, Sequence, Tuple
 
@@ -24,8 +25,19 @@ from repro.lint.rules import LintUsageError
 BASELINE_VERSION = 1
 
 
-def write_baseline(path: str, findings: Sequence[Finding]) -> None:
-    """Record the given findings as the grandfathered set."""
+def write_baseline(path: str, findings: Sequence[Finding]) -> bool:
+    """Record the given findings as the grandfathered set.
+
+    With zero findings there is nothing to grandfather: any stale
+    baseline file at ``path`` is *removed* (an empty-but-present
+    baseline would silently keep suppressing nothing while looking
+    load-bearing in review).  Returns True when a file was written,
+    False when the clean tree left none behind.
+    """
+    if not findings:
+        if os.path.exists(path):
+            os.remove(path)
+        return False
     counts = Counter(f.baseline_key for f in findings)
     payload = {
         "version": BASELINE_VERSION,
@@ -34,6 +46,7 @@ def write_baseline(path: str, findings: Sequence[Finding]) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    return True
 
 
 def load_baseline(path: str) -> Dict[str, int]:

@@ -7,8 +7,11 @@ each file once, walks the AST once, and dispatches every node to every
 interested rule, so adding a rule never adds a parse or a traversal.
 
 Rules register themselves with the :func:`register` decorator; the
-registry maps codes (``REP001``...) to rule classes and backs the CLI's
-``--select`` / ``--ignore`` flags and ``--list-rules`` output.
+registry maps codes (``REP001``, ``ASY001``...) to rule classes and
+backs the CLI's ``--select`` / ``--ignore`` flags and ``--list-rules``
+output.  Codes group into *families* by their three-letter prefix:
+``REP`` is the determinism contract, ``ASY`` the async-safety contract,
+and ``SAN`` the runtime sanitizer's reserved range.
 """
 
 from __future__ import annotations
@@ -28,7 +31,12 @@ FRAMEWORK_CODES: Dict[str, str] = {
     ),
 }
 
-_CODE_RE = re.compile(r"^REP\d{3}$")
+_CODE_RE = re.compile(r"^[A-Z]{3}\d{3}$")
+
+
+def code_family(code: str) -> str:
+    """Three-letter family prefix of a rule code (``REP001`` -> ``REP``)."""
+    return code[:3]
 
 
 class LintUsageError(Exception):
@@ -62,7 +70,10 @@ _REGISTRY: Dict[str, Type[Rule]] = {}
 def register(cls: Type[Rule]) -> Type[Rule]:
     """Class decorator adding a rule to the registry."""
     if not _CODE_RE.match(cls.code):
-        raise ValueError("rule code must match REPnnn, got %r" % cls.code)
+        raise ValueError(
+            "rule code must match a three-letter family plus three "
+            "digits (REPnnn, ASYnnn, ...), got %r" % cls.code
+        )
     if cls.code in FRAMEWORK_CODES:
         raise ValueError("code %s is reserved for the framework" % cls.code)
     if cls.code in _REGISTRY:
@@ -84,12 +95,30 @@ def known_codes() -> FrozenSet[str]:
 
 
 def parse_code_list(text: Optional[str], flag: str) -> Optional[FrozenSet[str]]:
-    """Parse a ``--select`` / ``--ignore`` comma list, validating codes."""
+    """Parse a ``--select`` / ``--ignore`` comma list, validating codes.
+
+    A bare three-letter family prefix selects every known code in that
+    family: ``--select ASY`` is shorthand for ``ASY001,...,ASY006``.
+    """
     if text is None:
         return None
-    codes = frozenset(c.strip() for c in text.split(",") if c.strip())
-    if not codes:
+    tokens = frozenset(c.strip().upper() for c in text.split(",") if c.strip())
+    if not tokens:
         raise LintUsageError("%s needs at least one code" % flag)
+    codes = set()
+    for token in tokens:
+        if re.fullmatch(r"[A-Z]{3}", token):
+            family = frozenset(
+                c for c in known_codes() if code_family(c) == token
+            )
+            if not family:
+                raise LintUsageError(
+                    "unknown rule family for %s: %s" % (flag, token)
+                )
+            codes |= family
+        else:
+            codes.add(token)
+    codes = frozenset(codes)
     unknown = sorted(codes - known_codes())
     if unknown:
         raise LintUsageError(

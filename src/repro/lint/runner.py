@@ -16,6 +16,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence
 
+from repro.lint import asyncrules  # noqa: F401  (registers ASY001-ASY006)
 from repro.lint import domain  # noqa: F401  (registers REP001-REP007)
 from repro.lint.baseline import apply_baseline, load_baseline
 from repro.lint.driver import FileLintResult, lint_source
@@ -23,10 +24,36 @@ from repro.lint.findings import Finding
 from repro.lint.rules import (
     LintUsageError,
     code_enabled,
+    code_family,
     selected_rules,
 )
 
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".repro_cache"})
+
+#: Version tag of the JSON finding payload shared by ``repro lint
+#: --json`` and the runtime sanitizer, so CI artifacts from both tools
+#: are diffable with the same machinery.
+FINDINGS_SCHEMA = "repro-findings/1"
+
+
+def findings_payload(
+    findings: Sequence[Finding], tool: str
+) -> Dict[str, object]:
+    """The schema-stable core shared by lint and sanitizer output."""
+    by_code: Dict[str, int] = {}
+    by_family: Dict[str, int] = {}
+    for finding in findings:
+        by_code[finding.code] = by_code.get(finding.code, 0) + 1
+        family = code_family(finding.code)
+        by_family[family] = by_family.get(family, 0) + 1
+    return {
+        "schema": FINDINGS_SCHEMA,
+        "tool": tool,
+        "findings": [f.to_dict() for f in sorted(findings)],
+        "counts_by_code": {c: by_code[c] for c in sorted(by_code)},
+        "counts_by_family": {f: by_family[f] for f in sorted(by_family)},
+        "clean": not findings,
+    }
 
 
 @dataclass
@@ -44,16 +71,16 @@ class LintReport:
         return 1 if self.findings else 0
 
     def to_dict(self) -> Dict[str, object]:
-        return {
-            "findings": [f.to_dict() for f in self.findings],
+        payload = findings_payload(self.findings, tool="lint")
+        payload.update({
             "files_scanned": self.files_scanned,
             "suppressed": {
                 "noqa": self.noqa_suppressed,
                 "baseline": self.baseline_suppressed,
             },
             "elapsed_s": round(self.elapsed_s, 3),
-            "clean": not self.findings,
-        }
+        })
+        return payload
 
 
 def iter_python_files(paths: Sequence[str]) -> List[str]:
@@ -132,6 +159,18 @@ def lint_paths(
 def format_human(report: LintReport) -> str:
     """Render findings plus a one-line summary, pyflakes-style."""
     lines = [finding.format() for finding in report.findings]
+    if report.findings:
+        families: Dict[str, int] = {}
+        for finding in report.findings:
+            family = code_family(finding.code)
+            families[family] = families.get(family, 0) + 1
+        lines.append(
+            "findings by family: "
+            + ", ".join(
+                "%s %d" % (family, families[family])
+                for family in sorted(families)
+            )
+        )
     suppressed_bits = []
     if report.noqa_suppressed:
         suppressed_bits.append("%d noqa" % report.noqa_suppressed)

@@ -566,12 +566,18 @@ async def run_chaos(
         divergent_trace=divergent_trace,
         divergent_spans=divergent_spans,
     )
+    # Both dumps hit the disk; hand them to a worker thread so the
+    # (still-running) event loop is never stalled by file I/O.
     if chaos_log_path is not None:
-        _dump_chaos_log(chaos_log_path, schedule, journal, report)
+        await asyncio.to_thread(
+            _dump_chaos_log, chaos_log_path, schedule, journal, report
+        )
     if trace_log_path is not None:
         from repro.obs.export import write_trace_jsonl
 
-        write_trace_jsonl(trace_log_path, core.tracer.records())
+        await asyncio.to_thread(
+            write_trace_jsonl, trace_log_path, core.tracer.records()
+        )
     return report
 
 

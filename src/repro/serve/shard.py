@@ -160,10 +160,18 @@ class Shard:
                     await task
                 except asyncio.CancelledError:
                     pass
+                except Exception:
+                    # A task that already died of its own exception
+                    # re-raises it here; shutdown must still complete.
+                    pass
         while not self._queue.empty():
             _request, future, _trace = self._queue.get_nowait()
             if not future.done():
                 future.set_result(error_response("shutting_down"))
+        # The failed futures above never reach the worker's decrement,
+        # so drop the in-flight ledger with them: a later start() must
+        # not shed tenants against counts from a previous life.
+        self._inflight.clear()
 
     async def drain(self) -> int:
         """Graceful stop prelude: refuse new work, finish queued work,
@@ -266,7 +274,19 @@ class Shard:
         """
         while True:
             await asyncio.sleep(self._sweep_s)
-            self.sweep_idle_sessions()
+            try:
+                self.sweep_idle_sessions()
+            except Exception as exc:
+                # The sweeper has no supervisor: an uncaught error (say
+                # a checkpoint store hiccup) would end TTL eviction for
+                # the rest of the process and re-raise out of stop().
+                # Count it, log it, keep sweeping.
+                self._registry.counter("serve_sweeper_errors").inc()
+                self._ops.emit(
+                    "sweeper_error",
+                    shard=self.index,
+                    error="%s: %s" % (type(exc).__name__, exc),
+                )
 
     def handle(self, request: Request, trace=None) -> Response:
         """Process one request synchronously (the worker's inner step).

@@ -446,9 +446,20 @@ class TestSelectionAndErrors:
         assert [f.code for f in result.findings] == [PARSE_ERROR_CODE]
 
     def test_every_domain_rule_is_registered(self):
-        assert sorted(all_rules()) == [
-            "REP00%d" % i for i in range(1, 8)
-        ]
+        assert sorted(all_rules()) == (
+            ["ASY00%d" % i for i in range(1, 7)]
+            + ["REP00%d" % i for i in range(1, 8)]
+        )
+
+    def test_family_prefix_expands_to_codes(self):
+        codes = parse_code_list("ASY", "--select")
+        assert codes == frozenset("ASY00%d" % i for i in range(1, 7))
+        mixed = parse_code_list("REP001,ASY", "--select")
+        assert "REP001" in mixed and "ASY003" in mixed
+
+    def test_unknown_family_is_a_usage_error(self):
+        with pytest.raises(LintUsageError):
+            parse_code_list("ZZZ", "--select")
 
 
 class TestCli:
@@ -486,11 +497,35 @@ class TestCli:
             ["lint", str(bad), "--baseline", str(baseline)], out=out
         ) == 0
 
+    def test_write_baseline_with_zero_findings_removes_stale_file(
+        self, tmp_path
+    ):
+        bad = tmp_path / "legacy.py"
+        bad.write_text("import random\nx = random.random()\n")
+        baseline = tmp_path / "baseline.json"
+        out = io.StringIO()
+        assert main(
+            ["lint", str(bad), "--write-baseline", str(baseline)], out=out
+        ) == 0
+        assert baseline.exists()
+        # The violation gets fixed; re-recording must *remove* the stale
+        # baseline rather than leave an empty-but-present file behind.
+        bad.write_text("x = 1\n")
+        assert main(
+            ["lint", str(bad), "--write-baseline", str(baseline)], out=out
+        ) == 0
+        assert not baseline.exists()
+        assert "removed any stale baseline" in out.getvalue()
+
     def test_list_rules(self):
         out = io.StringIO()
         assert main(["lint", "--list-rules"], out=out) == 0
         text = out.getvalue()
         for code in ["REP00%d" % i for i in range(1, 8)]:
+            assert code in text
+        for code in ["ASY00%d" % i for i in range(1, 7)]:
+            assert code in text
+        for code in ["SAN00%d" % i for i in range(1, 4)]:
             assert code in text
 
 

@@ -367,6 +367,54 @@ def test_shard_evicts_idle_sessions(pdf_table):
     asyncio.run(scenario())
 
 
+def test_shard_stop_clears_inflight_ledger():
+    async def scenario():
+        shard = Shard(0, _failing_factory, queue_limit=100,
+                      tenant_inflight_limit=2)
+        # Worker not started: both submissions sit queued, charged to
+        # the tenant's in-flight budget.
+        futures = [
+            shard.submit(StatsRequest(tenant="hog")) for _ in range(2)
+        ]
+        await shard.stop()
+        for future in futures:
+            assert future.result().error == "shutting_down"
+        # A restarted shard must not shed the tenant against in-flight
+        # counts from its previous life.
+        shard.start()
+        response = await shard.submit(StatsRequest(tenant="hog"))
+        assert response.error == "unknown_tenant"  # routed, not shed
+        await shard.stop()
+
+    asyncio.run(scenario())
+
+
+def test_shard_sweeper_survives_sweep_errors():
+    async def scenario():
+        shard = Shard(0, _failing_factory, session_ttl_s=30.0,
+                      sweep_interval_s=0.01)
+        calls = {"n": 0}
+        recovered = asyncio.Event()
+
+        def flaky_sweep():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("checkpoint store hiccup")
+            recovered.set()
+            return 0
+
+        shard.sweep_idle_sessions = flaky_sweep
+        shard.start()
+        # The first sweep raises; the sweeper must survive it and keep
+        # sweeping (TTL eviction used to die silently here, and the
+        # stored exception then re-raised out of stop()).
+        await asyncio.wait_for(recovered.wait(), timeout=5.0)
+        await shard.stop()
+        assert calls["n"] >= 2
+
+    asyncio.run(scenario())
+
+
 # -- server + clients ---------------------------------------------------------
 
 
