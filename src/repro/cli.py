@@ -220,6 +220,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--min-speedup", type=float, default=None,
                        help="exit 1 if the end-to-end kernel speedup "
                             "falls below this ratio")
+    bench.add_argument("--profile", action="store_true",
+                       help="also cProfile one end-to-end run per kernel "
+                            "variant; the cumtime top table is written "
+                            "next to the JSON report")
+    bench.add_argument("--profile-top", type=_positive_int, default=40,
+                       metavar="N", help="rows per profile table (40)")
 
     serve = sub.add_parser(
         "serve",
@@ -740,6 +746,8 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
         quick=args.quick,
         repeats=args.repeats,
         out_path=args.out,
+        profile=args.profile,
+        profile_top_n=args.profile_top,
     )
     scenario = report["scenario"]
     end = report["end_to_end"]
@@ -765,6 +773,8 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
           % report["hotpath_speedup"], file=out)
     print("", file=out)
     print("report written to %s" % args.out, file=out)
+    if "profile_path" in report:
+        print("profile written to %s" % report["profile_path"], file=out)
     if args.min_speedup is not None and end["speedup"] < args.min_speedup:
         print("FAIL: end-to-end speedup %.2fx below required %.2fx"
               % (end["speedup"], args.min_speedup), file=out)

@@ -222,12 +222,27 @@ class GridBayesFilter:
                         beacon.y,
                         self.compute_distance_field(beacon),
                     )
+                if table.lut_enabled:
+                    # Share the LUT index field across bins: the indices
+                    # depend only on the distances and the LUT geometry,
+                    # and pdf_from_index runs the identical np.take the
+                    # direct evaluation would, so this is bit-identical
+                    # to pdf_for_key while skipping the clip/cast pass
+                    # for every bin after the first at this position.
+                    params = table.lut_params
+                    index = cache.index_field(beacon.x, beacon.y, params)
+                    if index is None:
+                        index = cache.store_index(
+                            beacon.x,
+                            beacon.y,
+                            table.lut_index_for(distances),
+                            params,
+                        )
+                    field = table.pdf_from_index(bin_key, index)
+                else:
+                    field = table.pdf_for_key(bin_key, distances)
                 constraint = cache.store_constraint(
-                    anchor_id,
-                    beacon.x,
-                    beacon.y,
-                    bin_key,
-                    table.pdf_for_key(bin_key, distances),
+                    anchor_id, beacon.x, beacon.y, bin_key, field
                 )
         self._posterior *= constraint
         total = self._posterior.sum()

@@ -82,10 +82,22 @@ class ConstraintFieldCache:
         self._constraint: "OrderedDict[_ConstraintKey, tuple]" = (
             OrderedDict()
         )
+        self._index: "OrderedDict[_DistKey, tuple]" = OrderedDict()
+        # Memo of the last position's (key, token): one beacon frame
+        # produces a run of cache calls at the same (x, y) — half a
+        # dozen per apply_beacon, times every receiver of the frame —
+        # and the quantize/hex work was visible in the hot-path profile.
+        # Guarded against x or y == 0.0 because -0.0 == 0.0 compares
+        # True while their hex tokens differ.
+        self._pos_memo: Tuple[float, float, tuple, tuple] = (
+            float("nan"), float("nan"), (), ()
+        )
         self.hits = 0
         self.misses = 0
         self.distance_hits = 0
         self.distance_misses = 0
+        self.index_hits = 0
+        self.index_misses = 0
         self.evictions = 0
 
     @property
@@ -111,13 +123,26 @@ class ConstraintFieldCache:
                 "filter with grid %s" % (self._signature, signature)
             )
 
+    def _pos_key_token(self, x: float, y: float) -> Tuple[tuple, tuple]:
+        """Quantized key and exact token for a position, memoized."""
+        memo = self._pos_memo
+        # Bitwise equality is the memo contract (a tolerance would alias
+        # distinct positions); 0.0 is excluded as the empty-memo sentinel.
+        # repro: noqa[REP004] memo identity check needs exact comparison
+        if x == memo[0] and y == memo[1] and x != 0.0 and y != 0.0:
+            return memo[2], memo[3]
+        key = (_quantize(x), _quantize(y))
+        token = _position_token(x, y)
+        self._pos_memo = (x, y, key, token)
+        return key, token
+
     # -- distance fields ----------------------------------------------------
 
     def distance_field(self, x: float, y: float) -> Optional[np.ndarray]:
         """The cached cell-to-``(x, y)`` distance field, or ``None``."""
-        key = (_quantize(x), _quantize(y))
+        key, token = self._pos_key_token(x, y)
         entry = self._distance.get(key)
-        if entry is not None and entry[0] == _position_token(x, y):
+        if entry is not None and entry[0] == token:
             self._distance.move_to_end(key)
             self.distance_hits += 1
             return entry[1]
@@ -129,11 +154,44 @@ class ConstraintFieldCache:
     ) -> np.ndarray:
         """Cache a freshly computed distance field (made read-only)."""
         field.flags.writeable = False
-        self._put(
-            self._distance,
-            (_quantize(x), _quantize(y)),
-            (_position_token(x, y), field),
-        )
+        key, token = self._pos_key_token(x, y)
+        self._put(self._distance, key, (token, field))
+        return field
+
+    # -- LUT index fields ---------------------------------------------------
+
+    def index_field(
+        self, x: float, y: float, params: tuple
+    ) -> Optional[np.ndarray]:
+        """The cached LUT index field for a beacon position, or ``None``.
+
+        Index fields (:meth:`~repro.core.pdf_table.PdfTable.lut_index_for`
+        results) depend on the position's distance field and the LUT
+        geometry only — not the RSSI bin — so every bin evaluated at the
+        same beacon position reuses one.  ``params`` is the table's
+        ``lut_params``; an entry computed under different LUT geometry is
+        a miss.
+        """
+        key, token = self._pos_key_token(x, y)
+        entry = self._index.get(key)
+        if (
+            entry is not None
+            and entry[0] == token
+            and entry[1] == params
+        ):
+            self._index.move_to_end(key)
+            self.index_hits += 1
+            return entry[2]
+        self.index_misses += 1
+        return None
+
+    def store_index(
+        self, x: float, y: float, field: np.ndarray, params: tuple
+    ) -> np.ndarray:
+        """Cache a freshly computed LUT index field (made read-only)."""
+        field.flags.writeable = False
+        key, token = self._pos_key_token(x, y)
+        self._put(self._index, key, (token, params, field))
         return field
 
     # -- constraint fields --------------------------------------------------
@@ -146,9 +204,10 @@ class ConstraintFieldCache:
         bin_key: int,
     ) -> Optional[np.ndarray]:
         """The cached constraint density for one (anchor, position, bin)."""
-        key = (anchor_id, _quantize(x), _quantize(y), int(bin_key))
+        pos_key, token = self._pos_key_token(x, y)
+        key = (anchor_id, pos_key[0], pos_key[1], int(bin_key))
         entry = self._constraint.get(key)
-        if entry is not None and entry[0] == _position_token(x, y):
+        if entry is not None and entry[0] == token:
             self._constraint.move_to_end(key)
             self.hits += 1
             return entry[1]
@@ -165,10 +224,11 @@ class ConstraintFieldCache:
     ) -> np.ndarray:
         """Cache a freshly computed constraint field (made read-only)."""
         field.flags.writeable = False
+        pos_key, token = self._pos_key_token(x, y)
         self._put(
             self._constraint,
-            (anchor_id, _quantize(x), _quantize(y), int(bin_key)),
-            (_position_token(x, y), field),
+            (anchor_id, pos_key[0], pos_key[1], int(bin_key)),
+            (token, field),
         )
         return field
 
@@ -185,9 +245,12 @@ class ConstraintFieldCache:
         """Drop every cached field (counters are kept)."""
         self._distance.clear()
         self._constraint.clear()
+        self._index.clear()
 
     def __len__(self) -> int:
-        return len(self._distance) + len(self._constraint)
+        return (
+            len(self._distance) + len(self._constraint) + len(self._index)
+        )
 
     def counters(self) -> Dict[str, int]:
         """The cache's accounting, keyed as telemetry exports it."""
@@ -196,5 +259,7 @@ class ConstraintFieldCache:
             "kernel_cache_constraint_misses": self.misses,
             "kernel_cache_distance_hits": self.distance_hits,
             "kernel_cache_distance_misses": self.distance_misses,
+            "kernel_cache_index_hits": self.index_hits,
+            "kernel_cache_index_misses": self.index_misses,
             "kernel_cache_evictions": self.evictions,
         }

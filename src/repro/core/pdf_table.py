@@ -287,6 +287,11 @@ class PdfTable:
         """
         if not self._lut_enabled:
             return self._bins[key].pdf(distances_m, out=out)
+        return np.take(
+            self._lut_for(key), self.lut_index_for(distances_m), out=out
+        )
+
+    def _lut_for(self, key: int) -> np.ndarray:
         lut = self._luts.get(key)
         if lut is None:
             nodes = np.linspace(
@@ -295,6 +300,23 @@ class PdfTable:
             lut = np.asarray(self._bins[key].pdf(nodes), dtype=float)
             lut.flags.writeable = False
             self._luts[key] = lut
+        return lut
+
+    @property
+    def lut_params(self) -> Tuple[int, float]:
+        """The LUT geometry an index field depends on (see
+        :meth:`lut_index_for`); cached index fields are keyed on it."""
+        return (self._lut_entries, self._support_max_m)
+
+    def lut_index_for(self, distances_m: np.ndarray) -> np.ndarray:
+        """Nearest-LUT-node indices for a distance field.
+
+        The indices depend only on the distances and :attr:`lut_params` —
+        not on the RSSI bin — so a caller evaluating several bins at the
+        same beacon position (the constraint-field cache does, one per
+        heard RSSI) can compute them once and feed :meth:`pdf_from_index`
+        per bin, with bit-identical results to :meth:`pdf_for_key`.
+        """
         d = np.asarray(distances_m, dtype=float)
         inv_step = (self._lut_entries - 1) / (2.0 * self._support_max_m)
         # Clip before the integer cast (same reasoning as the histogram
@@ -302,8 +324,29 @@ class PdfTable:
         scaled = np.clip(
             d * inv_step + 0.5, 0.0, float(self._lut_entries - 1)
         )
-        idx = scaled.astype(np.intp)
-        return np.take(lut, idx, out=out)
+        return scaled.astype(np.intp)
+
+    def pdf_from_index(
+        self,
+        key: int,
+        index: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Density over distance from a precomputed LUT index field.
+
+        Only meaningful while the LUT kernel is enabled and ``index``
+        came from :meth:`lut_index_for` under the current
+        :attr:`lut_params`.
+        """
+        if not self._lut_enabled:
+            raise RuntimeError(
+                "pdf_from_index requires the LUT kernel to be enabled"
+            )
+        if out is None:
+            # Fancy indexing gathers the same elements as np.take (the
+            # indices are in range by construction) a shade faster.
+            return self._lut_for(key)[index]
+        return np.take(self._lut_for(key), index, out=out)
 
     def expected_distance(self, rssi_dbm: float) -> float:
         """The bin's mean distance — a crude point-ranging estimate used

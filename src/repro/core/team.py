@@ -49,6 +49,7 @@ from repro.net.packet import ReceivedPacket
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 from repro.sim.timers import PeriodicTimer
+from repro.sim.world import WorldState
 from repro.telemetry.collect import Telemetry, collect_team_snapshot
 from repro.telemetry.registry import COUNT_EDGES, DISTANCE_EDGES_M
 from repro.telemetry.snapshot import TelemetrySnapshot
@@ -172,13 +173,23 @@ class CoCoATeam:
         self.telemetry = telemetry
         self.kernels = resolve_kernels(kernels)
         self.streams = RandomStreams(config.master_seed)
-        self.sim = Simulator()
+        # One-second wheel slots: every recurring protocol timer (beacon
+        # periods, MAC backoff, multicast refresh, metric sampling) lands
+        # within a few slots of the clock.
+        self.sim = Simulator(
+            wheel_slot_s=1.0 if self.kernels.time_wheel else None
+        )
         self.channel = BroadcastChannel(
             self.sim,
             config.path_loss,
             self.streams.get("phy"),
             batched=self.kernels.batched_delivery,
+            coalesced=self.kernels.coalesced_delivery,
         )
+        self.world: Optional[WorldState] = None
+        if self.kernels.soa_state:
+            self.world = WorldState(config.n_robots)
+            self.channel.attach_world(self.world)
         plan = faults if faults is not None else config.faults
         self.fault_plan = plan
         self.faults: Optional[FaultInjector] = None
@@ -248,6 +259,9 @@ class CoCoATeam:
                 self.streams.spawn("mac", node_id),
                 receiver=config.receiver,
             )
+            if self.world is not None:
+                mobility.bind_world(self.world, node_id)
+                interface.radio.bind_world(self.world, node_id)
             clock = DriftingClock.random(
                 self.streams.spawn("clock", node_id), config.clock_drift_rate
             )
@@ -528,9 +542,26 @@ class CoCoATeam:
     def _sample_metrics(self, _count: int) -> None:
         t = self.sim.now
         row = []
-        for node in self._measured_nodes():
-            node.estimator.advance_to(t)
-            row.append(node.localization_error(t))
+        world = self.world
+        if world is not None:
+            # Bulk path (soa_state kernel): advance every estimator
+            # first — exactly the per-node draws the interleaved scalar
+            # loop makes, in the same per-node order — then evaluate all
+            # true positions in one vectorized pass.
+            measured = self._measured_nodes()
+            for node in measured:
+                node.estimator.advance_to(t)
+            xs, ys = world.positions_at(t)
+            for node in measured:
+                row.append(
+                    node.localization_error_from(
+                        xs[node.node_id], ys[node.node_id]
+                    )
+                )
+        else:
+            for node in self._measured_nodes():
+                node.estimator.advance_to(t)
+                row.append(node.localization_error(t))
         self._sample_times.append(t)
         self._sample_errors.append(row)
 

@@ -67,9 +67,28 @@ class EnergyMeter:
         self._packets_sent = 0
         self._packets_received = 0
         self._transitions = 0
-        self._state_durations: Dict[RadioState, float] = {
-            state: 0.0 for state in RadioState
-        }
+        # Per-state duration scalars instead of an enum-keyed dict:
+        # charge_state runs once per radio transition (tens of thousands
+        # per run) and enum hashing dominated its profile.
+        self._dur_tx = 0.0
+        self._dur_rx = 0.0
+        self._dur_idle = 0.0
+        self._dur_sleep = 0.0
+        self._dur_off = 0.0
+        # Baseline power per state in watts.  ``mw * 1e-3`` is exactly the
+        # first multiplication the expression
+        # ``state_power_mw(state) * 1e-3 * duration_s`` performs (Python
+        # evaluates left to right), so hoisting it preserves the charged
+        # joules bit for bit.
+        self._w_tx = model.state_power_mw(RadioState.TX) * 1e-3
+        self._w_rx = model.state_power_mw(RadioState.RX) * 1e-3
+        self._w_idle = model.state_power_mw(RadioState.IDLE) * 1e-3
+        self._w_sleep = model.state_power_mw(RadioState.SLEEP) * 1e-3
+        self._w_off = model.state_power_mw(RadioState.OFF) * 1e-3
+        # Per-size packet cost memos: frames come in a handful of fixed
+        # sizes, so the linear cost model runs once per distinct size.
+        self._send_costs: Dict[int, float] = {}
+        self._recv_costs: Dict[int, float] = {}
 
     @property
     def model(self) -> EnergyModel:
@@ -99,13 +118,19 @@ class EnergyMeter:
     @property
     def state_durations_s(self) -> Dict[RadioState, float]:
         """Seconds charged per radio state (a copy; all states present)."""
-        return dict(self._state_durations)
+        return {
+            RadioState.OFF: self._dur_off,
+            RadioState.SLEEP: self._dur_sleep,
+            RadioState.IDLE: self._dur_idle,
+            RadioState.RX: self._dur_rx,
+            RadioState.TX: self._dur_tx,
+        }
 
     def metrics(self) -> Dict[str, float]:
         """Flat metric mapping for telemetry collection."""
         out = {
             "radio_%s_s" % state.value: duration
-            for state, duration in self._state_durations.items()
+            for state, duration in self.state_durations_s.items()
         }
         out["radio_transitions"] = float(self._transitions)
         out["radio_packets_sent"] = float(self._packets_sent)
@@ -115,34 +140,53 @@ class EnergyMeter:
         return out
 
     def charge_state(self, state: RadioState, duration_s: float) -> None:
-        """Charge baseline power for spending ``duration_s`` in ``state``."""
+        """Charge baseline power for spending ``duration_s`` in ``state``.
+
+        Branch order follows billing frequency: receive/idle intervals
+        alternate on every reception, so those two states take the bulk
+        of the calls.
+        """
         if duration_s < 0:
             raise ValueError(
                 "duration_s must be non-negative, got %r" % duration_s
             )
-        self._state_durations[state] += duration_s
-        energy_j = self._model.state_power_mw(state) * 1e-3 * duration_s
-        if state is RadioState.TX:
-            self._breakdown.tx_j += energy_j
+        breakdown = self._breakdown
+        if state is RadioState.IDLE:
+            self._dur_idle += duration_s
+            breakdown.idle_j += self._w_idle * duration_s
         elif state is RadioState.RX:
-            self._breakdown.rx_j += energy_j
-        elif state is RadioState.IDLE:
-            self._breakdown.idle_j += energy_j
+            self._dur_rx += duration_s
+            breakdown.rx_j += self._w_rx * duration_s
+        elif state is RadioState.TX:
+            self._dur_tx += duration_s
+            breakdown.tx_j += self._w_tx * duration_s
         elif state is RadioState.SLEEP:
-            self._breakdown.sleep_j += energy_j
-        # OFF draws nothing by default; if a nonzero off power is configured
-        # it is folded into idle for reporting purposes.
-        elif energy_j > 0.0:
-            self._breakdown.idle_j += energy_j
+            self._dur_sleep += duration_s
+            breakdown.sleep_j += self._w_sleep * duration_s
+        else:
+            self._dur_off += duration_s
+            energy_j = self._w_off * duration_s
+            # OFF draws nothing by default; if a nonzero off power is
+            # configured it is folded into idle for reporting purposes.
+            if energy_j > 0.0:
+                breakdown.idle_j += energy_j
 
     def charge_send(self, size_bytes: int) -> None:
         """Charge the per-packet broadcast-send cost."""
-        self._breakdown.packet_send_j += self._model.send_cost_j(size_bytes)
+        cost = self._send_costs.get(size_bytes)
+        if cost is None:
+            cost = self._model.send_cost_j(size_bytes)
+            self._send_costs[size_bytes] = cost
+        self._breakdown.packet_send_j += cost
         self._packets_sent += 1
 
     def charge_recv(self, size_bytes: int) -> None:
         """Charge the per-packet broadcast-receive cost."""
-        self._breakdown.packet_recv_j += self._model.recv_cost_j(size_bytes)
+        cost = self._recv_costs.get(size_bytes)
+        if cost is None:
+            cost = self._model.recv_cost_j(size_bytes)
+            self._recv_costs[size_bytes] = cost
+        self._breakdown.packet_recv_j += cost
         self._packets_received += 1
 
     def charge_wake_transition(self) -> None:

@@ -12,8 +12,16 @@ The two layers answer different questions:
   bounds this ratio well below the per-loop gains.
 - **Components** — what each kernel does to the loop it replaces
   (batched RSSI sampling vs. the scalar draw loop, LUT density lookup
-  vs. exact evaluation, cached constraint fields vs. recomputation).
-  This is where the ≥3× hot-path target is measured.
+  vs. exact evaluation, cached constraint fields vs. recomputation,
+  the slotted time wheel vs. the binary heap on a pure event-loop
+  workload, and coalesced frame delivery vs. per-frame events as a
+  full-scenario ablation).  This is where the ≥3× hot-path target is
+  measured.
+
+``--profile`` additionally cProfiles one end-to-end run per kernel
+variant and writes the cumtime-sorted tables next to the JSON, so the
+next per-event-wall diagnosis starts from data instead of ad-hoc
+scripts.
 
 The report is written as ``BENCH_hotpath.json`` (no absolute
 timestamps — reports must be content-comparable across runs) and
@@ -23,10 +31,14 @@ includes the scenario's content fingerprint so regressions can tell
 
 from __future__ import annotations
 
+import cProfile
+import io
 import json
 import math
+import pstats
 import time
-from typing import Callable, Dict, List, Optional
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -38,9 +50,10 @@ from repro.experiments.presets import fig7_config
 from repro.experiments.runner import SharedCalibration
 from repro.kernels import KERNELS_OFF, KERNELS_ON, KernelConfig
 from repro.orchestrator.jobs import config_digest
+from repro.sim.engine import Simulator
 from repro.util.geometry import Vec2
 
-__all__ = ["pinned_config", "run_hotpath_bench"]
+__all__ = ["pinned_config", "profile_path_for", "run_hotpath_bench"]
 
 #: Simulated seconds of the pinned scenario in the full / quick shapes.
 DEFAULT_DURATION_S = 600.0
@@ -79,24 +92,22 @@ def _percentile(values: List[float], q: float) -> float:
     return float(np.percentile(np.asarray(values, dtype=float), q))
 
 
-def _run_end_to_end(
+def _time_one_run(
     config: CoCoAConfig,
     kernels: KernelConfig,
     calibration: SharedCalibration,
-    repeats: int,
-) -> Dict[str, object]:
-    walls: List[float] = []
-    events = 0
-    for _ in range(repeats):
-        team = CoCoATeam(
-            config,
-            pdf_table=calibration.table_for(config),
-            kernels=kernels,
-        )
-        start = time.perf_counter()
-        team.run()
-        walls.append(time.perf_counter() - start)
-        events = team.sim.events_processed
+) -> Tuple[float, int]:
+    team = CoCoATeam(
+        config,
+        pdf_table=calibration.table_for(config),
+        kernels=kernels,
+    )
+    start = time.perf_counter()
+    team.run()
+    return time.perf_counter() - start, team.sim.events_processed
+
+
+def _summarize_walls(walls: List[float], events: int) -> Dict[str, object]:
     p50 = _percentile(walls, 50.0)
     return {
         "wall_s": [round(w, 6) for w in walls],
@@ -105,6 +116,31 @@ def _run_end_to_end(
         "events_processed": int(events),
         "events_per_s": round(events / p50, 1),
     }
+
+
+def _run_end_to_end_pair(
+    config: CoCoAConfig,
+    calibration: SharedCalibration,
+    repeats: int,
+) -> Tuple[Dict[str, object], Dict[str, object]]:
+    """Time the kernels-off and kernels-on variants, *interleaved*.
+
+    Alternating OFF/ON per repeat instead of timing one block after the
+    other means slow drift in machine load inflates both variants about
+    equally, keeping their ratio honest.
+    """
+    off_walls: List[float] = []
+    on_walls: List[float] = []
+    off_events = on_events = 0
+    for _ in range(repeats):
+        wall, off_events = _time_one_run(config, KERNELS_OFF, calibration)
+        off_walls.append(wall)
+        wall, on_events = _time_one_run(config, KERNELS_ON, calibration)
+        on_walls.append(wall)
+    return (
+        _summarize_walls(off_walls, off_events),
+        _summarize_walls(on_walls, on_events),
+    )
 
 
 def _bench_rssi_sampling(
@@ -254,11 +290,125 @@ def _bench_constraint_field(
     }
 
 
+def _bench_event_loop(
+    timers: int, sim_seconds: float, timing_repeats: int
+) -> Dict[str, float]:
+    """Slotted time wheel vs. binary heap on a pure event-loop workload.
+
+    The synthetic population mirrors the simulator's own timer mix: many
+    periodic timers with staggered sub-slot periods, each fire also
+    rescheduling a short one-shot and cancelling the previous one — the
+    schedule/cancel churn the radio busy-window events generate.  No
+    science runs here; this isolates the queue data structure itself.
+
+    Honest expectation: with heap entries already flattened to C-compared
+    ``(time, seq, event)`` tuples, heapq is hard to beat and this row
+    hovers near 1x at Fig.-7 populations — the end-to-end win comes from
+    the *coalesced delivery* kernel removing events outright (see the
+    ``delivery`` row).  The wheel's value is the scale-out regime and
+    its strictly-O(1) insert for slot-local timers.
+    """
+
+    def make(run_slot: Optional[float]) -> Callable[[], None]:
+        def run() -> None:
+            sim = Simulator(wheel_slot_s=run_slot)
+            handles: List[object] = [None] * timers
+
+            def noop() -> None:
+                pass
+
+            def periodic(i: int, period: float) -> None:
+                handle = handles[i]
+                if handle is not None:
+                    handle.cancel()
+                handles[i] = sim.schedule(0.5, noop)
+                if sim.now + period <= sim_seconds:
+                    sim.schedule(period, periodic, i, period)
+
+            for i in range(timers):
+                period = 0.25 + (i % 40) * 0.05
+                sim.schedule(period, periodic, i, period)
+            sim.run(until=sim_seconds)
+
+        return run
+
+    heap_s = _best_of(make(None), timing_repeats)
+    wheel_s = _best_of(make(1.0), timing_repeats)
+    return {
+        "heap_s": round(heap_s, 6),
+        "wheel_s": round(wheel_s, 6),
+        "speedup": round(heap_s / wheel_s, 2),
+    }
+
+
+def _bench_delivery(
+    config: CoCoAConfig,
+    calibration: SharedCalibration,
+    timing_repeats: int,
+) -> Dict[str, float]:
+    """Coalesced frame delivery vs. per-frame events, everything else on.
+
+    An ablation of the pinned scenario: both variants run the full team
+    with every other kernel enabled, so the difference is exactly the
+    merged delivery event plus the unmanaged (event-free) RX windows.
+    """
+    per_frame_kernels = replace(KERNELS_ON, coalesced_delivery=False)
+    per_frame_walls: List[float] = []
+    coalesced_walls: List[float] = []
+    for _ in range(timing_repeats):
+        # Interleaved, and timed inside _time_one_run so team
+        # construction stays outside the measurement.
+        per_frame_walls.append(
+            _time_one_run(config, per_frame_kernels, calibration)[0]
+        )
+        coalesced_walls.append(
+            _time_one_run(config, KERNELS_ON, calibration)[0]
+        )
+    per_frame_s = min(per_frame_walls)
+    coalesced_s = min(coalesced_walls)
+    return {
+        "per_frame_s": round(per_frame_s, 6),
+        "coalesced_s": round(coalesced_s, 6),
+        "speedup": round(per_frame_s / coalesced_s, 2),
+    }
+
+
+def _profile_variant(
+    config: CoCoAConfig,
+    kernels: KernelConfig,
+    calibration: SharedCalibration,
+    top_n: int,
+) -> str:
+    """One profiled end-to-end run, rendered as cumtime-sorted text."""
+    team = CoCoATeam(
+        config,
+        pdf_table=calibration.table_for(config),
+        kernels=kernels,
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    team.run()
+    profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(top_n)
+    return stream.getvalue()
+
+
+def profile_path_for(out_path: str) -> str:
+    """Where ``--profile`` output lands, next to the JSON report."""
+    if out_path.endswith(".json"):
+        return out_path[: -len(".json")] + "_profile.txt"
+    return out_path + "_profile.txt"
+
+
 def run_hotpath_bench(
     seed: int = 1,
     quick: bool = False,
     repeats: Optional[int] = None,
     out_path: Optional[str] = "BENCH_hotpath.json",
+    profile: bool = False,
+    profile_top_n: int = 40,
 ) -> Dict[str, object]:
     """Run the full benchmark and (optionally) write the JSON report.
 
@@ -269,6 +419,11 @@ def run_hotpath_bench(
         repeats: end-to-end repeats per kernel variant; defaults to the
             shape's standard count.
         out_path: where to write the report; ``None`` skips the write.
+        profile: additionally cProfile one end-to-end run per kernel
+            variant and write the cumtime-sorted top tables next to the
+            JSON (see :func:`profile_path_for`), so a per-event-wall
+            diagnosis doesn't need ad-hoc scripts.
+        profile_top_n: rows per profile table.
 
     Returns:
         The report dict (exactly what lands in the JSON file).
@@ -282,13 +437,14 @@ def run_hotpath_bench(
     evals = 100 if quick else 400
     rounds = 4 if quick else 12
     timing_repeats = 3 if quick else 5
+    loop_timers = 150
+    loop_seconds = 100.0 if quick else 400.0
 
     config = pinned_config(seed=seed, duration_s=duration)
     calibration = SharedCalibration()
     calibration.table_for(config)  # calibrate outside every timer
 
-    off = _run_end_to_end(config, KERNELS_OFF, calibration, repeats)
-    on = _run_end_to_end(config, KERNELS_ON, calibration, repeats)
+    off, on = _run_end_to_end_pair(config, calibration, repeats)
     end_to_end_speedup = round(
         float(off["wall_p50_s"]) / float(on["wall_p50_s"]), 2
     )
@@ -302,6 +458,10 @@ def run_hotpath_bench(
         "constraint_field": _bench_constraint_field(
             config, calibration, rounds, timing_repeats, lut_entries
         ),
+        "event_loop": _bench_event_loop(
+            loop_timers, loop_seconds, timing_repeats
+        ),
+        "delivery": _bench_delivery(config, calibration, 2 if quick else 3),
     }
     hotpath_speedup = round(
         math.exp(
@@ -337,4 +497,25 @@ def run_hotpath_bench(
         with open(out_path, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")
+    if profile:
+        sections = []
+        for label, kernels in (
+            ("kernels_on", KERNELS_ON),
+            ("kernels_off", KERNELS_OFF),
+        ):
+            sections.append(
+                "==== %s (one end-to-end run, cumtime top %d) ====\n%s"
+                % (
+                    label,
+                    profile_top_n,
+                    _profile_variant(
+                        config, kernels, calibration, profile_top_n
+                    ),
+                )
+            )
+        text = "\n".join(sections)
+        target = profile_path_for(out_path or "BENCH_hotpath.json")
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        report["profile_path"] = target
     return report

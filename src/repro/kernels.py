@@ -9,11 +9,12 @@ implementation that produces the same results as the straightforward one.
 :class:`KernelConfig` selects which kernels a run uses.  The contract per
 kernel:
 
-- ``batched_delivery`` (:meth:`~repro.net.channel.BroadcastChannel`) and
-  ``constraint_cache`` (:class:`~repro.core.constraint_cache.ConstraintFieldCache`)
-  are **bit-identical** to the scalar paths: same RNG stream consumption,
-  same float operations, byte-equal results.  The regression suite
-  enforces this.
+- ``batched_delivery`` (:meth:`~repro.net.channel.BroadcastChannel`),
+  ``constraint_cache`` (:class:`~repro.core.constraint_cache.ConstraintFieldCache`),
+  ``pose_memo``, and the engine-core kernels ``time_wheel``,
+  ``coalesced_delivery``, and ``soa_state`` are **bit-identical** to the
+  scalar paths: same RNG stream consumption, same float operations,
+  byte-equal results.  The regression suite enforces this.
 - ``lut_pdf`` (:class:`~repro.core.pdf_table.PdfTable`) quantizes the
   distance axis, so it is *tolerance-identical*: per-figure metrics stay
   within 0.1 % relative of the exact path (pinned by a test).  Runs that
@@ -82,6 +83,23 @@ class KernelConfig:
             instant within one event reuse it (bit-identical: a pose is
             a pure function of the query time once the trajectory legs
             are drawn, and repeat same-time queries draw no randomness).
+        time_wheel: back the event queue with the slotted time wheel in
+            :class:`~repro.sim.engine.Simulator` instead of a single
+            binary heap (bit-identical: pops merge the active slot and
+            the heap by the exact ``(time, seq)`` key, so the firing
+            sequence is unchanged — a property test pins this).
+        coalesced_delivery: end all receptions of a frame inside the
+            frame's own delivery event instead of scheduling one rx-end
+            event per receiver (bit-identical: radios leave RX at the
+            same instants in the same order, with the same energy
+            billing, but ~80 % of the engine's events disappear).
+        soa_state: mirror node kinematics and radio power state into
+            shared structure-of-arrays blocks
+            (:class:`~repro.sim.world.WorldState`) so the channel and
+            the metric sampler evaluate whole-team positions in one
+            vectorized pass (bit-identical: elementwise float64 leg
+            interpolation matches the scalar arithmetic bit for bit,
+            and distances stay scalar ``math.hypot``).
     """
 
     batched_delivery: bool = True
@@ -90,6 +108,9 @@ class KernelConfig:
     constraint_cache: bool = True
     cache_capacity: int = 128
     pose_memo: bool = True
+    time_wheel: bool = True
+    coalesced_delivery: bool = True
+    soa_state: bool = True
 
     def __post_init__(self) -> None:
         if self.lut_entries < 2:
@@ -109,6 +130,9 @@ class KernelConfig:
             or self.lut_pdf
             or self.constraint_cache
             or self.pose_memo
+            or self.time_wheel
+            or self.coalesced_delivery
+            or self.soa_state
         )
 
 
@@ -121,6 +145,9 @@ KERNELS_OFF = KernelConfig(
     lut_pdf=False,
     constraint_cache=False,
     pose_memo=False,
+    time_wheel=False,
+    coalesced_delivery=False,
+    soa_state=False,
 )
 #: Every bit-identical kernel on, the tolerance-identical LUT off: runs
 #: under this selection are byte-equal to :data:`KERNELS_OFF` runs.

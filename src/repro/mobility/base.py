@@ -15,13 +15,39 @@ from typing import List, Sequence, Tuple
 from repro.util.geometry import Vec2
 
 
-@dataclass(frozen=True)
 class Pose:
-    """A robot pose: position, heading (radians, CCW from +x) and speed."""
+    """A robot pose: position, heading (radians, CCW from +x) and speed.
 
-    position: Vec2
-    heading: float
-    speed: float
+    A plain ``__slots__`` class (not a frozen dataclass) because poses
+    are materialized on every odometry read and kinematics query;
+    immutable by convention, like :class:`~repro.util.geometry.Vec2`.
+    """
+
+    __slots__ = ("position", "heading", "speed")
+
+    def __init__(
+        self, position: Vec2, heading: float, speed: float
+    ) -> None:
+        self.position = position
+        self.heading = heading
+        self.speed = speed
+
+    def __repr__(self) -> str:
+        return "Pose(position=%r, heading=%r, speed=%r)" % (
+            self.position, self.heading, self.speed
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is Pose:
+            return (
+                self.position == other.position
+                and self.heading == other.heading
+                and self.speed == other.speed
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.position, self.heading, self.speed))
 
     @property
     def x(self) -> float:

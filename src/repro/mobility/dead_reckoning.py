@@ -9,6 +9,8 @@ accumulate, the estimate drifts without bound — Figure 4's central result.
 
 from __future__ import annotations
 
+import math
+
 from repro.mobility.odometry import OdometryReading
 from repro.util.geometry import Vec2, normalize_angle
 
@@ -61,11 +63,17 @@ class DeadReckoning:
         the true path exactly whenever turns coincide with sample
         boundaries.
         """
-        self._position = self._position + Vec2.from_polar(
-            reading.distance, self._heading
+        # Component-wise form of ``position + Vec2.from_polar(d, heading)``
+        # — identical float operations without the intermediate vector.
+        position = self._position
+        heading = self._heading
+        distance = reading.distance
+        self._position = Vec2(
+            position.x + distance * math.cos(heading),
+            position.y + distance * math.sin(heading),
         )
         self._heading = normalize_angle(
-            self._heading + reading.heading_change
+            heading + reading.heading_change
         )
         self._distance_integrated += abs(reading.distance)
         self._updates += 1

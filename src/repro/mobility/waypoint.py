@@ -15,6 +15,7 @@ mesh-pruning algorithm exploits.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import List, Optional
 
 import numpy as np
@@ -44,22 +45,36 @@ class Leg:
     arrive_time: float
     rest_until: float
 
-    @property
+    @cached_property
     def heading(self) -> float:
+        # cached: a leg's heading is queried on every pose() while the
+        # leg is active, and atan2 per query was visible in the profile.
         return self.start.heading_to(self.dest)
 
-    @property
+    @cached_property
     def length(self) -> float:
         return self.start.distance_to(self.dest)
 
     def position_at(self, t: float) -> Vec2:
-        """Position on this leg at time ``t`` (clamped to the leg)."""
+        """Position on this leg at time ``t`` (clamped to the leg).
+
+        The interpolation is written out per component — the same float
+        operations, in the same order, as the historical
+        ``start + (dest - start) * frac`` vector expression (and as the
+        SoA world's array interpolation), without the two intermediate
+        ``Vec2`` allocations.
+        """
         if t <= self.depart_time:
             return self.start
         if t >= self.arrive_time:
             return self.dest
         frac = (t - self.depart_time) / (self.arrive_time - self.depart_time)
-        return self.start + (self.dest - self.start) * frac
+        start = self.start
+        dest = self.dest
+        return Vec2(
+            start.x + (dest.x - start.x) * frac,
+            start.y + (dest.y - start.y) * frac,
+        )
 
 
 class WaypointMobility(MobilityModel):
@@ -120,6 +135,9 @@ class WaypointMobility(MobilityModel):
         self._last_query_time = 0.0
         # One-entry pose memo; None when the kernel is off.
         self._pose_memo: Optional[dict] = {} if memoize else None
+        # SoA mirror (the soa_state kernel); None when unbound.
+        self._world = None
+        self._world_row = 0
 
     @property
     def area(self) -> Rect:
@@ -172,14 +190,41 @@ class WaypointMobility(MobilityModel):
             )
         self._last_query_time = t
         leg = self._legs[self._leg_index]
-        while t >= leg.rest_until:
-            self._leg_index += 1
-            if self._leg_index == len(self._legs):
-                self._legs.append(
-                    self._new_leg(leg.dest, depart_time=leg.rest_until)
-                )
-            leg = self._legs[self._leg_index]
+        if t >= leg.rest_until:
+            while t >= leg.rest_until:
+                self._leg_index += 1
+                if self._leg_index == len(self._legs):
+                    self._legs.append(
+                        self._new_leg(leg.dest, depart_time=leg.rest_until)
+                    )
+                leg = self._legs[self._leg_index]
+            if self._world is not None:
+                self._write_through(leg)
         return leg
+
+    def bind_world(self, world, row: int) -> None:
+        """Mirror this trajectory's active leg into a shared SoA block.
+
+        Registers with the :class:`~repro.sim.world.WorldState` and
+        writes the currently active leg through; every later leg
+        advancement keeps the mirror current.
+        """
+        self._world = world
+        self._world_row = row
+        world.bind_mobility(row, self)
+        self._write_through(self._legs[self._leg_index])
+
+    def _write_through(self, leg: Leg) -> None:
+        self._world.set_leg(
+            self._world_row,
+            leg.start.x,
+            leg.start.y,
+            leg.dest.x,
+            leg.dest.y,
+            leg.depart_time,
+            leg.arrive_time,
+            leg.rest_until,
+        )
 
     def pose(self, t: float) -> Pose:
         memo = self._pose_memo
@@ -191,8 +236,24 @@ class WaypointMobility(MobilityModel):
         if t >= leg.arrive_time:
             # Resting at the destination.
             pose = Pose(leg.dest, leg.heading, 0.0)
+        elif t <= leg.depart_time:
+            pose = Pose(leg.start, leg.heading, leg.speed)
         else:
-            pose = Pose(leg.position_at(t), leg.heading, leg.speed)
+            # Inlined Leg.position_at mid-leg branch (same float ops);
+            # the clamp branches are hoisted into this if/elif chain.
+            frac = (t - leg.depart_time) / (
+                leg.arrive_time - leg.depart_time
+            )
+            start = leg.start
+            dest = leg.dest
+            pose = Pose(
+                Vec2(
+                    start.x + (dest.x - start.x) * frac,
+                    start.y + (dest.y - start.y) * frac,
+                ),
+                leg.heading,
+                leg.speed,
+            )
         if memo is not None:
             if memo:
                 memo.clear()

@@ -18,11 +18,13 @@ same channel realization that decided reception.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.energy.model import RadioState
 from repro.mobility.base import MobilityModel
 from repro.net.packet import Packet, ReceivedPacket
 from repro.net.phy import PathLossModel, ReceiverModel
@@ -102,6 +104,11 @@ class BroadcastChannel:
             the batched delivery kernel (bit-identical to the scalar
             path; see :mod:`repro.kernels`).  :class:`~repro.core.team`
             sets this from the run's :class:`~repro.kernels.KernelConfig`.
+        coalesced: when True, receivers' radios are released inside the
+            frame's single delivery event instead of via one rx-end
+            event per receiver (the ``coalesced_delivery`` kernel;
+            bit-identical, see :meth:`_deliver_frame`).  Implies the
+            batched offer path.
     """
 
     def __init__(
@@ -113,6 +120,7 @@ class BroadcastChannel:
         preamble_s: float = PREAMBLE_S,
         trace: Optional[TraceLog] = None,
         batched: bool = False,
+        coalesced: bool = False,
     ) -> None:
         if bitrate_bps <= 0:
             raise ValueError(
@@ -128,7 +136,23 @@ class BroadcastChannel:
         self._trace = trace if trace is not None else TraceLog()
         self._faults = None
         self.batched = batched
+        self.coalesced = coalesced
+        self._world = None
+        self._row_entries: Optional[List[_NodeEntry]] = None
         self.stats = ChannelStats()
+
+    def attach_world(self, world) -> None:
+        """Use a :class:`~repro.sim.world.WorldState` for bulk eligibility.
+
+        The world's rows must cover exactly the node ids registered on
+        this channel (the team binds node ``i`` to row ``i``), with every
+        mobility model and radio bound to it — otherwise the masks would
+        disagree with the per-object state.  The bulk path also stands
+        down whenever a fault injector is installed or any radio arms a
+        receive-fault gate, since those are per-receiver decisions.
+        """
+        self._world = world
+        self._row_entries = None
 
     def install_faults(self, injector) -> None:
         """Attach a :class:`~repro.faults.injector.FaultInjector`.
@@ -176,6 +200,7 @@ class BroadcastChannel:
             cs_dist_lo=cs_dist * (1.0 - 1e-9),
             cs_dist_hi=cs_dist * (1.0 + 1e-9),
         )
+        self._row_entries = None
 
     def airtime_s(self, size_bytes: int) -> float:
         """Airtime of a frame: preamble plus payload serialization."""
@@ -196,6 +221,10 @@ class BroadcastChannel:
         """
         now = self._sim.now
         self._prune(now)
+        if not self._transmissions:
+            # Nothing on the air: skip the mobility query entirely (pose
+            # queries are pure and lazy, so skipping one is unobservable).
+            return False
         entry = self._nodes[node_id]
         position = entry.mobility.position(now)
         for tx in self._transmissions:
@@ -236,7 +265,7 @@ class BroadcastChannel:
             now, "channel.tx", src_id, kind=packet.kind, uid=packet.uid
         )
 
-        if self.batched:
+        if self.batched or self.coalesced:
             self._offer_batch(tx, airtime)
         else:
             for receiver in self._nodes.values():
@@ -279,7 +308,7 @@ class BroadcastChannel:
             airtime,
             self._deliver,
             tx,
-            receiver.node_id,
+            receiver,
             rssi,
             name="deliver",
         )
@@ -316,57 +345,138 @@ class BroadcastChannel:
         the scheduler's own counters.
         """
         now = self._sim.now
-        eligible: List[_NodeEntry] = []
-        distances: List[float] = []
-        for receiver in self._nodes.values():
-            if receiver.node_id == tx.src:
-                continue
-            self.stats.frames_offered += 1
-            if not receiver.radio.is_awake:
-                self.stats.frames_missed_asleep += 1
-                continue
-            if receiver.radio.reception_impaired:
-                self.stats.frames_missed_brownout += 1
-                continue
-            if receiver.radio.is_transmitting:
-                self.stats.frames_missed_half_duplex += 1
-                continue
-            position = receiver.mobility.position(now)
-            eligible.append(receiver)
-            # Vec2.distance_to (math.hypot) — NOT a vectorized hypot:
-            # np.hypot and sqrt(dx*dx + dy*dy) are not bit-identical to it.
-            distances.append(
-                max(position.distance_to(tx.src_position), 1.0)
-            )
+        world = self._world
+        if (
+            world is not None
+            and self._faults is None
+            and not world.has_receive_faults
+        ):
+            eligible, distances = self._eligible_soa(tx, now, world)
+        else:
+            eligible = []
+            distances = []
+            for receiver in self._nodes.values():
+                if receiver.node_id == tx.src:
+                    continue
+                self.stats.frames_offered += 1
+                if not receiver.radio.is_awake:
+                    self.stats.frames_missed_asleep += 1
+                    continue
+                if receiver.radio.reception_impaired:
+                    self.stats.frames_missed_brownout += 1
+                    continue
+                if receiver.radio.is_transmitting:
+                    self.stats.frames_missed_half_duplex += 1
+                    continue
+                position = receiver.mobility.position(now)
+                eligible.append(receiver)
+                # Vec2.distance_to (math.hypot) — NOT a vectorized hypot:
+                # np.hypot and sqrt(dx*dx + dy*dy) are not bit-identical
+                # to it.
+                distances.append(
+                    max(position.distance_to(tx.src_position), 1.0)
+                )
         if not eligible:
             return
         rssi_batch = self._path_loss.sample_rssi_batch(
             np.asarray(distances), self._rng
         )
-        pending: List[Tuple[int, float]] = []
+        coalesced = self.coalesced
+        faults = self._faults
+        stats = self.stats
+        if coalesced and airtime <= 0:
+            # Hoisted from begin_receive_unmanaged (whose body is inlined
+            # in the survivor loop below): one check per frame instead of
+            # one per receiver.
+            raise ValueError("airtime_s must be positive, got %r" % airtime)
+        rx_end = now + airtime
+        pending: List[Tuple[_NodeEntry, float]] = []
         for receiver, sampled in zip(eligible, rssi_batch):
             rssi = float(sampled)
             effective_rssi = rssi
-            if self._faults is not None:
-                offered = self._faults.offer_rssi(
+            if faults is not None:
+                offered = faults.offer_rssi(
                     now, tx.src, receiver.node_id, rssi
                 )
                 if offered is None:
-                    self.stats.frames_jammed += 1
+                    stats.frames_jammed += 1
                     continue
                 effective_rssi = offered
-            if not receiver.receiver.can_decode(effective_rssi):
-                self.stats.frames_below_sensitivity += 1
+            # Inlined ReceiverModel.can_decode (rssi >= sensitivity);
+            # sampled RSSI is always finite, so the negated comparison
+            # is exact.
+            if effective_rssi < receiver.receiver.sensitivity_dbm:
+                stats.frames_below_sensitivity += 1
                 continue
-            receiver.radio.begin_receive(airtime)
-            pending.append((receiver.node_id, rssi))
+            if coalesced:
+                # Inlined Radio.begin_receive_unmanaged.  Eligibility
+                # admits only awake, non-transmitting radios, and nothing
+                # between the scan and this walk changes radio state, so
+                # the state here is exactly IDLE or RX.
+                radio = receiver.radio
+                if radio._state is RadioState.IDLE:
+                    elapsed = now - radio._state_since
+                    if elapsed > 0.0:
+                        meter = radio._meter
+                        meter._dur_idle += elapsed
+                        meter._breakdown.idle_j += meter._w_idle * elapsed
+                    radio._state_since = now
+                    radio._state = RadioState.RX
+                    radio._busy_until = rx_end
+                elif rx_end > radio._busy_until:
+                    radio._busy_until = rx_end
+            else:
+                receiver.radio.begin_receive(airtime)
+            pending.append((receiver, rssi))
         if pending:
             self._sim.schedule(
                 airtime, self._deliver_frame, tx, pending, name="deliver"
             )
 
+    def _eligible_soa(
+        self, tx: Transmission, now: float, world
+    ) -> Tuple[List[_NodeEntry], List[float]]:
+        """SoA fast path of the eligibility scan in :meth:`_offer_batch`.
+
+        Bit-identical to the scalar scan: rows ascend like the node-order
+        walk; the awake/transmitting masks are write-through mirrors of
+        the exact radio predicates; brownouts cannot occur (this path is
+        gated on no fault injector and no receive-fault gates); and the
+        world refreshes *every* node's position where the scalar loop
+        queries only eligible ones — invisible, because a trajectory's
+        leg draws by time ``t`` do not depend on who queries it when.
+        Distances still go through scalar ``math.hypot``, matching
+        ``Vec2.distance_to`` bit for bit.
+        """
+        entries = self._row_entries
+        if entries is None:
+            entries = [self._nodes[row] for row in range(world.n)]
+            self._row_entries = entries
+        awake = world.awake
+        transmitting = world.transmitting
+        # The source is mid-begin_transmit: awake and transmitting, so it
+        # drops out of `awake & ~transmitting` with no explicit exclusion,
+        # and the counter arithmetic below accounts for it.
+        stats = self.stats
+        stats.frames_offered += world.n - 1
+        stats.frames_missed_asleep += world.n - int(awake.sum())
+        stats.frames_missed_half_duplex += (
+            int((awake & transmitting).sum()) - 1
+        )
+        rows = np.flatnonzero(awake & ~transmitting).tolist()
+        xs, ys = world.positions_at(now)
+        src_x = tx.src_position.x
+        src_y = tx.src_position.y
+        hypot = math.hypot
+        eligible = [entries[row] for row in rows]
+        distances = [
+            max(hypot(xs[row] - src_x, ys[row] - src_y), 1.0)
+            for row in rows
+        ]
+        return eligible, distances
+
     def _deliver_frame(
-        self, tx: Transmission, pending: List[Tuple[int, float]]
+        self, tx: Transmission, pending: List[Tuple[_NodeEntry, float]]
     ) -> None:
         """Run every receiver's delivery for one frame, in node order.
 
@@ -376,7 +486,30 @@ class BroadcastChannel:
         delivery handlers start exactly at the frame end and so never
         satisfy the strict overlap test — matching the scalar path, where
         the per-receiver scan cannot see them either.
+
+        Under coalesced delivery this event is also where receptions
+        *end*: every pending radio is released before the first handler
+        runs, mirroring the managed ordering (rx-end events carry
+        earlier sequence numbers than the delivery event, so they too
+        all fire first).  A radio whose busy window was extended by a
+        later overlapping frame keeps receiving — ``finish_receive``
+        checks the window — and that later frame's own delivery releases
+        it, exactly when the managed path's rescheduled rx-end would.
         """
+        now = self._sim.now
+        if self.coalesced:
+            for receiver, _ in pending:
+                # Inlined Radio.finish_receive: release the radio iff it
+                # is still in RX with its busy window over.
+                radio = receiver.radio
+                if radio._state is RadioState.RX and now >= radio._busy_until:
+                    elapsed = now - radio._state_since
+                    if elapsed > 0.0:
+                        meter = radio._meter
+                        meter._dur_rx += elapsed
+                        meter._breakdown.rx_j += meter._w_rx * elapsed
+                    radio._state_since = now
+                    radio._state = RadioState.IDLE
         overlapping = [
             other
             for other in self._transmissions
@@ -384,40 +517,110 @@ class BroadcastChannel:
             and other.start < tx.end
             and other.end > tx.start
         ]
-        for receiver_id, rssi in pending:
-            self._deliver(tx, receiver_id, rssi, overlapping)
+        if self._faults is not None or self._trace.enabled("channel.rx"):
+            # Faults and rx tracing add per-delivery branches the fast
+            # loop below omits; route through the generic body.
+            deliver = self._deliver
+            for receiver, rssi in pending:
+                deliver(tx, receiver, rssi, overlapping)
+            return
+        # Inlined _deliver, one frame's receivers in node order: the same
+        # checks in the same order with the per-frame invariants (packet,
+        # size, the no-faults/no-trace branches) hoisted out of the loop.
+        stats = self.stats
+        trace = self._trace
+        packet = tx.packet
+        size_bytes = packet.size_bytes
+        delivered = 0
+        for receiver, rssi in pending:
+            radio = receiver.radio
+            state = radio._state
+            if state is RadioState.SLEEP or state is RadioState.OFF:
+                # Slept mid-frame (coordination closed the window).
+                stats.frames_missed_asleep += 1
+                continue
+            gate = radio._receive_fault
+            if gate is not None and gate(now):
+                # Browned out mid-frame.
+                stats.frames_missed_brownout += 1
+                continue
+            if overlapping:
+                receiver_id = receiver.node_id
+                half_duplex = False
+                for other in overlapping:
+                    if other.src == receiver_id:
+                        half_duplex = True
+                        break
+                if half_duplex:
+                    stats.frames_missed_half_duplex += 1
+                    continue
+                interference_mw = self._foreign_power_mw(
+                    overlapping, receiver
+                )
+                if interference_mw > 0.0:
+                    sinr_db = rssi - mw_to_dbm(interference_mw)
+                    if sinr_db < receiver.receiver.capture_threshold_db:
+                        stats.frames_collided += 1
+                        trace.emit(
+                            now,
+                            "channel.collision",
+                            receiver_id,
+                            kind=packet.kind,
+                            uid=packet.uid,
+                        )
+                        continue
+            # Inlined EnergyMeter.charge_recv.
+            meter = radio._meter
+            cost = meter._recv_costs.get(size_bytes)
+            if cost is None:
+                cost = meter._model.recv_cost_j(size_bytes)
+                meter._recv_costs[size_bytes] = cost
+            meter._breakdown.packet_recv_j += cost
+            meter._packets_received += 1
+            delivered += 1
+            receiver.on_receive(
+                ReceivedPacket(
+                    packet=packet,
+                    rssi_dbm=rssi,
+                    receive_time=now,
+                    receiver=receiver.node_id,
+                )
+            )
+        stats.frames_delivered += delivered
 
     def _deliver(
         self,
         tx: Transmission,
-        receiver_id: int,
+        receiver: _NodeEntry,
         rssi: float,
         overlapping: Optional[List[Transmission]] = None,
     ) -> None:
-        receiver = self._nodes[receiver_id]
+        receiver_id = receiver.node_id
+        radio = receiver.radio
+        stats = self.stats
         now = self._sim.now
-        if not receiver.radio.is_awake:
+        if not radio.is_awake:
             # Slept mid-frame (coordination closed the window).
-            self.stats.frames_missed_asleep += 1
+            stats.frames_missed_asleep += 1
             return
-        if receiver.radio.reception_impaired:
+        if radio.reception_impaired:
             # Browned out mid-frame.
-            self.stats.frames_missed_brownout += 1
+            stats.frames_missed_brownout += 1
             return
         if overlapping is None:
             if self._transmitted_during(receiver_id, tx.start, tx.end):
-                self.stats.frames_missed_half_duplex += 1
+                stats.frames_missed_half_duplex += 1
                 return
             interference_mw = self._interference_mw(tx, receiver)
         else:
             if any(other.src == receiver_id for other in overlapping):
-                self.stats.frames_missed_half_duplex += 1
+                stats.frames_missed_half_duplex += 1
                 return
             interference_mw = self._foreign_power_mw(overlapping, receiver)
         if interference_mw > 0.0:
             sinr_db = rssi - mw_to_dbm(interference_mw)
             if sinr_db < receiver.receiver.capture_threshold_db:
-                self.stats.frames_collided += 1
+                stats.frames_collided += 1
                 self._trace.emit(
                     now,
                     "channel.collision",
@@ -426,7 +629,7 @@ class BroadcastChannel:
                     uid=tx.packet.uid,
                 )
                 return
-        receiver.radio.meter.charge_recv(tx.packet.size_bytes)
+        radio.meter.charge_recv(tx.packet.size_bytes)
         packet = tx.packet
         if self._faults is not None:
             damaged = self._faults.maybe_corrupt(now, receiver_id, packet)
@@ -434,20 +637,24 @@ class BroadcastChannel:
                 if self._faults.crc_check:
                     # The frame was received (and paid for) but fails its
                     # checksum; the link layer drops it silently.
-                    self.stats.frames_crc_dropped += 1
+                    stats.frames_crc_dropped += 1
                     return
                 packet = damaged
-                self.stats.frames_corrupted += 1
+                stats.frames_corrupted += 1
             rssi = self._faults.reported_rssi(now, tx.src, rssi)
-        self.stats.frames_delivered += 1
-        self._trace.emit(
-            now,
-            "channel.rx",
-            receiver_id,
-            kind=packet.kind,
-            uid=packet.uid,
-            rssi=rssi,
-        )
+        stats.frames_delivered += 1
+        trace = self._trace
+        if trace.enabled("channel.rx"):
+            # The enabled check is hoisted out of ``emit`` so a disabled
+            # category skips the keyword-dict build on every delivery.
+            trace.emit(
+                now,
+                "channel.rx",
+                receiver_id,
+                kind=packet.kind,
+                uid=packet.uid,
+                rssi=rssi,
+            )
         receiver.on_receive(
             ReceivedPacket(
                 packet=packet,

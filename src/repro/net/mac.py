@@ -86,6 +86,12 @@ class CsmaMac:
         self._radio = radio
         self._rng = rng
         self._config = config
+        # Hoisted backoff constants: _backoff_s runs once per attempt —
+        # the engine's densest aperiodic event population — and the
+        # dataclass attribute walk showed up in its profile.
+        self._difs_s = config.difs_s
+        self._slot_s = config.slot_s
+        self._cw_bound = config.cw_slots + 1
         self._queue: Deque[Packet] = deque()
         self._pending: Optional[Event] = None
         self._defers = 0
@@ -125,8 +131,8 @@ class CsmaMac:
         self._defers = 0
 
     def _backoff_s(self) -> float:
-        slots = int(self._rng.integers(0, self._config.cw_slots + 1))
-        return self._config.difs_s + slots * self._config.slot_s
+        slots = int(self._rng.integers(0, self._cw_bound))
+        return self._difs_s + slots * self._slot_s
 
     def _arm(self, initial: bool) -> None:
         """Schedule the next transmission attempt after DIFS + backoff."""

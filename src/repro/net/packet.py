@@ -110,9 +110,14 @@ class Packet:
         )
 
 
-@dataclass(frozen=True)
 class ReceivedPacket:
     """A packet as seen by a receiver: the frame plus reception metadata.
+
+    A plain ``__slots__`` class rather than a frozen dataclass: one is
+    built per successful reception — the densest allocation site after
+    ``Vec2`` — and the frozen-dataclass ``__init__`` (object.__setattr__
+    per field) costs ~3x a direct slot store.  Treat instances as
+    immutable.
 
     Attributes:
         packet: the delivered packet.
@@ -122,7 +127,38 @@ class ReceivedPacket:
         receiver: receiving node id.
     """
 
-    packet: Packet
-    rssi_dbm: float
-    receive_time: float
-    receiver: int
+    __slots__ = ("packet", "rssi_dbm", "receive_time", "receiver")
+
+    def __init__(
+        self,
+        packet: Packet,
+        rssi_dbm: float,
+        receive_time: float,
+        receiver: int,
+    ) -> None:
+        self.packet = packet
+        self.rssi_dbm = rssi_dbm
+        self.receive_time = receive_time
+        self.receiver = receiver
+
+    def __repr__(self) -> str:
+        return (
+            "ReceivedPacket(packet=%r, rssi_dbm=%r, receive_time=%r, "
+            "receiver=%r)"
+            % (self.packet, self.rssi_dbm, self.receive_time, self.receiver)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is ReceivedPacket:
+            return (
+                self.packet == other.packet
+                and self.rssi_dbm == other.rssi_dbm
+                and self.receive_time == other.receive_time
+                and self.receiver == other.receiver
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.packet, self.rssi_dbm, self.receive_time, self.receiver)
+        )

@@ -194,28 +194,41 @@ class PathLossModel:
             np.log10(np.maximum(d, 1.0))
         )
         far = d > self.far_threshold_m
-        sigma = np.where(far, self.far_sigma_db, self.gaussian_sigma_db)
+        any_far = bool(far.any())
+        # With no far receiver sigma is uniform, and multiplying by the
+        # scalar is bit-identical to multiplying by an array filled with
+        # it — the common case (most frames are in-area) then skips the
+        # np.where materialization.
+        sigma = (
+            np.where(far, self.far_sigma_db, self.gaussian_sigma_db)
+            if any_far
+            else self.gaussian_sigma_db
+        )
         fade_db = None
-        if self.far_fade_prob <= 0.0 or not far.any():
-            noise = rng.normal(0.0, 1.0, size=k)
+        # ``standard_normal()`` replaces ``normal(0.0, 1.0)`` throughout:
+        # it consumes the Generator stream identically and returns the
+        # raw deviate that loc=0/scale=1 would pass through unchanged
+        # (0.0 + 1.0*z == z exactly), while skipping the loc/scale
+        # machinery — the draws are bit-identical and ~25% cheaper.
+        if self.far_fade_prob <= 0.0 or not any_far:
+            noise = rng.standard_normal(k)
         else:
             noise = np.empty(k)
             fade_db = np.zeros(k)
+            standard_normal = rng.standard_normal
             normal = rng.normal
             random = rng.random
             fade_prob = self.far_fade_prob
             start = 0
-            # Single-element runs use scalar draws — a scalar normal()
+            # Single-element runs use scalar draws — a scalar draw
             # consumes the Generator stream exactly like a size-1 array
             # draw (pinned by a property test) and skips the array
             # construction, which dominates when most receivers are far.
             for j in np.flatnonzero(far).tolist():
                 if j == start:
-                    noise[j] = normal(0.0, 1.0)
+                    noise[j] = standard_normal()
                 else:
-                    noise[start:j + 1] = normal(
-                        0.0, 1.0, size=j + 1 - start
-                    )
+                    noise[start:j + 1] = standard_normal(j + 1 - start)
                 start = j + 1
                 if random() < fade_prob:
                     fade_db[j] = abs(
@@ -224,9 +237,9 @@ class PathLossModel:
                         )
                     )
             if start == k - 1:
-                noise[start] = normal(0.0, 1.0)
+                noise[start] = standard_normal()
             elif start < k:
-                noise[start:] = normal(0.0, 1.0, size=k - start)
+                noise[start:] = standard_normal(k - start)
         rssi = mean + noise * sigma
         if fade_db is not None:
             rssi = rssi - fade_db

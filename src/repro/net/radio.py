@@ -29,6 +29,11 @@ class RadioError(RuntimeError):
     """Raised on invalid radio operations (e.g. transmitting while asleep)."""
 
 
+#: States in which the radio can participate in communication.  A module
+#: constant so the hot awake checks don't rebuild the tuple per call.
+_AWAKE_STATES = (RadioState.IDLE, RadioState.TX, RadioState.RX)
+
+
 class Radio:
     """One node's wireless interface power state.
 
@@ -52,6 +57,9 @@ class Radio:
         self._busy_until = sim.now
         self._end_event: Optional[Event] = None
         self._receive_fault: Optional[Callable[[float], bool]] = None
+        # SoA mirror (the soa_state kernel); None when unbound.
+        self._world = None
+        self._world_row = 0
 
     @property
     def state(self) -> RadioState:
@@ -64,7 +72,7 @@ class Radio:
     @property
     def is_awake(self) -> bool:
         """True when the radio can participate in communication."""
-        return self._state in (RadioState.IDLE, RadioState.TX, RadioState.RX)
+        return self._state in _AWAKE_STATES
 
     def set_receive_fault(self, gate: Callable[[float], bool]) -> None:
         """Install a reception-fault gate (brownout injection).
@@ -76,6 +84,24 @@ class Radio:
         :attr:`reception_impaired` at offer and delivery time).
         """
         self._receive_fault = gate
+        if self._world is not None:
+            # The SoA eligibility masks cannot express a per-receiver
+            # fault gate; flag the world so the channel stays scalar.
+            self._world.has_receive_faults = True
+
+    def bind_world(self, world, row: int) -> None:
+        """Mirror this radio's power state into a shared SoA block.
+
+        After binding, every state transition updates the world's
+        ``awake``/``transmitting`` masks so the channel can filter
+        receivers in bulk.
+        """
+        self._world = world
+        self._world_row = row
+        world.awake[row] = self.is_awake
+        world.transmitting[row] = self._state is RadioState.TX
+        if self._receive_fault is not None:
+            world.has_receive_faults = True
 
     @property
     def reception_impaired(self) -> bool:
@@ -102,6 +128,11 @@ class Radio:
     def _enter(self, state: RadioState) -> None:
         self._bill_elapsed()
         self._state = state
+        world = self._world
+        if world is not None:
+            row = self._world_row
+            world.awake[row] = state in _AWAKE_STATES
+            world.transmitting[row] = state is RadioState.TX
 
     def sleep(self) -> None:
         """Enter sleep mode.  No-op if already asleep or off.
@@ -185,6 +216,72 @@ class Radio:
         self._end_event = self._sim.schedule(
             airtime_s, self._end_busy, name="rx-end"
         )
+
+    def begin_receive_unmanaged(self, airtime_s: float) -> None:
+        """:meth:`begin_receive`, but without scheduling an rx-end event.
+
+        The coalesced-delivery kernel uses this: the channel guarantees
+        it will call :meth:`finish_receive` from the frame's single
+        delivery event (which fires exactly at the busy window's end),
+        so the per-receiver rx-end event — and the cancel/reschedule
+        traffic overlapping frames cause — is unnecessary.  State
+        transitions, busy-window extension, and energy billing are
+        identical to the managed path.
+
+        The billing of :meth:`_enter` is inlined here (and in
+        :meth:`finish_receive`): these two run once per reception — the
+        densest call site in the simulation — and an IDLE<->RX flip
+        changes neither the awake nor the transmitting SoA mask, so the
+        generic transition path's mirror writes would be no-ops anyway.
+        """
+        state = self._state
+        if state is RadioState.RX:
+            if airtime_s <= 0:
+                raise ValueError(
+                    "airtime_s must be positive, got %r" % airtime_s
+                )
+            end = self._sim.now + airtime_s
+            if end > self._busy_until:
+                self._busy_until = end
+            return
+        if state is not RadioState.IDLE:
+            # TX (half duplex), SLEEP, or OFF: not receiving.
+            return
+        if airtime_s <= 0:
+            raise ValueError("airtime_s must be positive, got %r" % airtime_s)
+        now = self._sim.now
+        elapsed = now - self._state_since
+        if elapsed > 0.0:
+            # Inlined EnergyMeter.charge_state(IDLE, elapsed): the exact
+            # accumulation the meter performs, minus the call per
+            # reception.
+            meter = self._meter
+            meter._dur_idle += elapsed
+            meter._breakdown.idle_j += meter._w_idle * elapsed
+        self._state_since = now
+        self._state = RadioState.RX
+        self._busy_until = now + airtime_s
+
+    def finish_receive(self) -> None:
+        """End an unmanaged reception whose busy window has elapsed.
+
+        No-op unless the radio is in RX with its busy window over — a
+        later overlapping frame may have extended the window (that
+        frame's delivery will finish it), or the node may have slept or
+        started transmitting in the meantime.
+        """
+        if self._state is RadioState.RX:
+            now = self._sim.now
+            if now >= self._busy_until:
+                elapsed = now - self._state_since
+                if elapsed > 0.0:
+                    # Inlined EnergyMeter.charge_state(RX, elapsed), as in
+                    # begin_receive_unmanaged.
+                    meter = self._meter
+                    meter._dur_rx += elapsed
+                    meter._breakdown.rx_j += meter._w_rx * elapsed
+                self._state_since = now
+                self._state = RadioState.IDLE
 
     def _end_busy(self) -> None:
         if self._sim.now < self._busy_until:

@@ -8,6 +8,7 @@ steps.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Optional
 
 from repro.sim.engine import Event, Simulator
@@ -31,11 +32,17 @@ class PeriodicTimer:
         max_fires: Optional[int] = None,
         name: str = "periodic",
     ) -> None:
-        if period <= 0:
-            raise ValueError("period must be positive, got %r" % period)
-        if start_delay < 0:
+        # `not >` instead of `<=` so NaN is rejected too (NaN compares
+        # False both ways and would otherwise slip through and feed the
+        # scheduler a NaN delay on the first reschedule).
+        if not (period > 0 and math.isfinite(period)):
             raise ValueError(
-                "start_delay must be non-negative, got %r" % start_delay
+                "period must be positive and finite, got %r" % period
+            )
+        if not (start_delay >= 0 and math.isfinite(start_delay)):
+            raise ValueError(
+                "start_delay must be non-negative and finite, got %r"
+                % start_delay
             )
         if max_fires is not None and max_fires <= 0:
             raise ValueError("max_fires must be positive, got %r" % max_fires)
@@ -69,8 +76,10 @@ class PeriodicTimer:
 
         Used when a SYNC message advertises new ``T``/``t`` values.
         """
-        if period <= 0:
-            raise ValueError("period must be positive, got %r" % period)
+        if not (period > 0 and math.isfinite(period)):
+            raise ValueError(
+                "period must be positive and finite, got %r" % period
+            )
         self._period = period
 
     def stop(self) -> None:

@@ -14,17 +14,37 @@ from typing import Iterator, Tuple
 TWO_PI = 2.0 * math.pi
 
 
-@dataclass(frozen=True)
 class Vec2:
     """An immutable 2-D vector / point with float coordinates.
 
     ``Vec2`` supports the usual vector arithmetic and is hashable, which
     makes it convenient both as a position and as a dictionary key in
     trajectory bookkeeping.
+
+    Implemented as a plain ``__slots__`` class rather than a frozen
+    dataclass: vector arithmetic creates hundreds of thousands of
+    instances per run, and the frozen-dataclass ``__init__`` (two
+    ``object.__setattr__`` calls) tripled the construction cost.
+    Immutability is by convention — nothing may assign to ``x``/``y``
+    after construction (the hash and every cached position depend on it).
     """
 
-    x: float
-    y: float
+    __slots__ = ("x", "y")
+
+    def __init__(self, x: float, y: float) -> None:
+        self.x = x
+        self.y = y
+
+    def __repr__(self) -> str:
+        return "Vec2(x=%r, y=%r)" % (self.x, self.y)
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is Vec2:
+            return self.x == other.x and self.y == other.y
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.x, self.y))
 
     def __add__(self, other: "Vec2") -> "Vec2":
         return Vec2(self.x + other.x, self.y + other.y)

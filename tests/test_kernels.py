@@ -416,6 +416,8 @@ class TestConstraintFieldCache:
             "kernel_cache_distance_hits",
             "kernel_cache_distance_misses",
             "kernel_cache_evictions",
+            "kernel_cache_index_hits",
+            "kernel_cache_index_misses",
         ]
 
     def test_cached_apply_beacon_bitwise_equal(self, pdf_table):
@@ -485,6 +487,71 @@ class TestTeamKernelWiring:
         assert not any(
             key.startswith("kernel_cache") for key in snapshot.metrics
         )
+
+
+class TestEngineKernelToggles:
+    """Each engine-core kernel is individually toggleable and, alone or
+    combined, byte-equal to the all-off scalar reference."""
+
+    SEEDS = (1, 2)
+
+    @pytest.mark.parametrize(
+        "flag", ["time_wheel", "coalesced_delivery", "soa_state"]
+    )
+    def test_single_kernel_byte_equal(self, calibration, flag):
+        from dataclasses import replace
+
+        for seed in self.SEEDS:
+            _, reference = run_tiny(seed, KERNELS_OFF, calibration)
+            team, single = run_tiny(
+                seed, replace(KERNELS_OFF, **{flag: True}), calibration
+            )
+            assert science_payload(single) == science_payload(reference)
+            if flag == "time_wheel":
+                assert team.sim.wheel_enabled
+
+    def test_engine_kernels_together_byte_equal(self, calibration):
+        from dataclasses import replace
+
+        combo = replace(
+            KERNELS_OFF,
+            time_wheel=True,
+            coalesced_delivery=True,
+            soa_state=True,
+        )
+        for seed in self.SEEDS:
+            _, reference = run_tiny(seed, KERNELS_OFF, calibration)
+            _, engine = run_tiny(seed, combo, calibration)
+            assert science_payload(engine) == science_payload(reference)
+
+
+class TestWorldStateSoA:
+    def test_positions_bitwise_match_scalar_legs(self):
+        """The SoA interpolation reproduces Leg.position_at bit for bit."""
+        from repro.sim.world import WorldState
+
+        area = Rect.square(80.0)
+        n = 6
+        world = WorldState(n)
+        mirrored = [
+            WaypointMobility(area, np.random.default_rng(100 + i))
+            for i in range(n)
+        ]
+        reference = [
+            WaypointMobility(area, np.random.default_rng(100 + i))
+            for i in range(n)
+        ]
+        for row, mobility in enumerate(mirrored):
+            mobility.bind_world(world, row)
+        rng = np.random.default_rng(7)
+        t = 0.0
+        for _ in range(200):
+            t += float(rng.uniform(0.0, 3.0))
+            xs, ys = world.positions_at(t)
+            for row, ref in enumerate(reference):
+                want = ref.current_leg(t).position_at(t)
+                assert xs[row] == want.x
+                assert ys[row] == want.y
 
 
 class TestBitIdenticalGate:
@@ -560,6 +627,8 @@ class TestBenchSmoke:
             "rssi_sampling",
             "pdf_eval",
             "constraint_field",
+            "event_loop",
+            "delivery",
         }
         assert report["hotpath_speedup"] > 0.0
         assert report["kernel_speedup"] == report["end_to_end"]["speedup"]

@@ -84,6 +84,25 @@ class TestPeriodicTimer:
         with pytest.raises(ValueError):
             PeriodicTimer(sim, 1.0, lambda c: None, start_delay=-1.0)
 
+    def test_non_finite_period_rejected(self):
+        sim = Simulator()
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                PeriodicTimer(sim, bad, lambda c: None)
+
+    def test_non_finite_start_delay_rejected(self):
+        sim = Simulator()
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                PeriodicTimer(sim, 1.0, lambda c: None, start_delay=bad)
+
+    def test_non_finite_reschedule_period_rejected(self):
+        sim = Simulator()
+        timer = PeriodicTimer(sim, 1.0, lambda c: None)
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                timer.reschedule(bad)
+
     def test_invalid_max_fires_rejected(self):
         sim = Simulator()
         with pytest.raises(ValueError):
